@@ -1,0 +1,238 @@
+// Benchmark harness: one testing.B target per table/figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). The benches run the
+// experiments at a laptop-sized configuration and report the headline
+// numbers as custom benchmark metrics; `zsdb <experiment> -scale full`
+// runs the paper-sized version.
+package zeroshotdb_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/experiments"
+	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+)
+
+// benchConfig is the calibrated laptop-scale configuration (matches the
+// committed numbers in EXPERIMENTS.md).
+func benchConfig() experiments.Config {
+	model := zeroshot.DefaultConfig()
+	model.Hidden = 24
+	model.Epochs = 12
+	mscn := baselines.DefaultMSCNConfig()
+	mscn.Epochs = 12
+	e2e := baselines.DefaultE2EConfig()
+	e2e.Epochs = 12
+	dg := datagen.DefaultConfig()
+	dg.MaxRows = 15000
+	return experiments.Config{
+		TrainDBs:      4,
+		QueriesPerDB:  100,
+		EvalQueries:   50,
+		BaselineSizes: []int{50, 200, 500},
+		Seed:          2,
+		IMDBScale:     0.08,
+		Model:         model,
+		MSCN:          mscn,
+		E2E:           e2e,
+		DatagenCfg:    dg,
+	}
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+func sharedBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.Prepare(benchConfig())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+var (
+	fig3Once sync.Once
+	fig3Res  *experiments.Figure3Result
+	fig3Err  error
+)
+
+func sharedFigure3(b *testing.B) *experiments.Figure3Result {
+	b.Helper()
+	env := sharedBenchEnv(b)
+	fig3Once.Do(func() {
+		fig3Res, fig3Err = experiments.Figure3(env)
+	})
+	if fig3Err != nil {
+		b.Fatal(fig3Err)
+	}
+	return fig3Res
+}
+
+// benchFigure3Panel reports one workload panel of Figure 3 (E1): the
+// workload-driven error curve and the zero-shot lines.
+func benchFigure3Panel(b *testing.B, workload string) {
+	for i := 0; i < b.N; i++ {
+		res := sharedFigure3(b)
+		curve := res.Curves[workload]
+		last := curve[len(curve)-1]
+		b.ReportMetric(res.ZeroShotExact[workload], "zs-exact-median")
+		b.ReportMetric(res.ZeroShotEst[workload], "zs-est-median")
+		b.ReportMetric(last.MSCN, "mscn-maxtrain-median")
+		b.ReportMetric(last.E2E, "e2e-maxtrain-median")
+		b.ReportMetric(last.ScaledCost, "scaledcost-median")
+	}
+}
+
+func BenchmarkFigure3_Scale(b *testing.B)     { benchFigure3Panel(b, experiments.WorkloadScale) }
+func BenchmarkFigure3_Synthetic(b *testing.B) { benchFigure3Panel(b, experiments.WorkloadSynthetic) }
+func BenchmarkFigure3_JOBLight(b *testing.B)  { benchFigure3Panel(b, experiments.WorkloadJOBLight) }
+
+// BenchmarkFigure3_CollectionTime reproduces panel 4 of Figure 3 (E2): the
+// hours of executed workload required to collect the baselines' training
+// data on the unseen database (zero for zero-shot models).
+func BenchmarkFigure3_CollectionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedFigure3(b)
+		maxN := 0
+		for n := range res.CollectionHours {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		b.ReportMetric(res.CollectionHours[maxN], "hours-at-max-trainset")
+		b.ReportMetric(0, "hours-zero-shot")
+	}
+}
+
+var (
+	table1Once sync.Once
+	table1Res  *experiments.Table1Result
+	table1Err  error
+)
+
+func sharedTable1(b *testing.B) *experiments.Table1Result {
+	b.Helper()
+	env := sharedBenchEnv(b)
+	table1Once.Do(func() {
+		table1Res, table1Err = experiments.Table1(env)
+	})
+	if table1Err != nil {
+		b.Fatal(table1Err)
+	}
+	return table1Res
+}
+
+// BenchmarkTable1 reproduces rows 1-3 of Table 1 (E3): zero-shot Q-errors
+// with exact vs estimated cardinalities on the three workloads.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedTable1(b)
+		for _, row := range res.Rows[:3] {
+			b.ReportMetric(row.Exact.Median, row.Workload+"-exact-median")
+			b.ReportMetric(row.Est.Median, row.Workload+"-est-median")
+		}
+	}
+}
+
+// BenchmarkTable1_Index reproduces the last row of Table 1 (E4): the
+// what-if index-tuning Q-errors.
+func BenchmarkTable1_Index(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedTable1(b)
+		row := res.Rows[3]
+		b.ReportMetric(row.Exact.Median, "exact-median")
+		b.ReportMetric(row.Exact.Max, "exact-max")
+		b.ReportMetric(row.Est.Median, "est-median")
+		b.ReportMetric(row.Est.Max, "est-max")
+	}
+}
+
+// BenchmarkDBCountSweep reproduces E5: holdout error vs number of training
+// databases (Section 3.2's "after 19 databases the performance stagnated").
+func BenchmarkDBCountSweep(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DBCountSweep(env, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := res.Points[0]
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(first.Median, "median-1db")
+		b.ReportMetric(last.Median, "median-alldbs")
+	}
+}
+
+// BenchmarkFewShot reproduces E6: few-shot fine-tuning vs training a
+// workload-driven model from scratch on the same target queries.
+func BenchmarkFewShot(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FewShot(env, []int{10, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ZeroShotBaseline, "zeroshot-median")
+		b.ReportMetric(res.Points[0].FewShot, "fewshot10-median")
+		b.ReportMetric(res.Points[0].FromScratch, "scratch10-median")
+	}
+}
+
+var (
+	ablOnce sync.Once
+	ablRes  *experiments.AblationResult
+	ablErr  error
+)
+
+func sharedAblations(b *testing.B) *experiments.AblationResult {
+	b.Helper()
+	env := sharedBenchEnv(b)
+	ablOnce.Do(func() {
+		ablRes, ablErr = experiments.Ablations(env)
+	})
+	if ablErr != nil {
+		b.Fatal(ablErr)
+	}
+	return ablRes
+}
+
+// BenchmarkAblation_OneHot reproduces A1: the transferable encoding vs a
+// one-hot encoding trained on the same multi-database corpus.
+func BenchmarkAblation_OneHot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedAblations(b)
+		b.ReportMetric(res.ZeroShot.Median, "zeroshot-median")
+		b.ReportMetric(res.OneHot.Median, "onehot-median")
+	}
+}
+
+// BenchmarkAblation_FlatSum reproduces A2: DAG message passing vs a flat
+// sum of node encodings.
+func BenchmarkAblation_FlatSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedAblations(b)
+		b.ReportMetric(res.ZeroShot.Median, "zeroshot-median")
+		b.ReportMetric(res.FlatSum.Median, "flatsum-median")
+	}
+}
+
+// BenchmarkAblation_Cardinalities reproduces A3: exact vs estimated vs no
+// cardinality inputs.
+func BenchmarkAblation_Cardinalities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := sharedAblations(b)
+		b.ReportMetric(res.ZeroShot.Median, "exact-median")
+		b.ReportMetric(res.EstCard.Median, "est-median")
+		b.ReportMetric(res.NoCard.Median, "nocard-median")
+		b.ReportMetric(res.NoCard.P95, "nocard-p95")
+		b.ReportMetric(res.ZeroShot.P95, "exact-p95")
+	}
+}

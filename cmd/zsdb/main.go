@@ -1,0 +1,355 @@
+// Command zsdb is the experiment driver for the zero-shot cost estimation
+// reproduction. It regenerates every table and figure of the paper's
+// evaluation and provides train/eval plumbing around saved models.
+//
+// Usage:
+//
+//	zsdb figure3  [-scale small|full]   reproduce Figure 3 (E1+E2)
+//	zsdb table1   [-scale small|full]   reproduce Table 1 (E3+E4)
+//	zsdb dbsweep  [-scale small|full]   training-database-count sweep (E5)
+//	zsdb fewshot  [-scale small|full]   few-shot vs from-scratch (E6)
+//	zsdb ablation [-scale small|full]   ablations A1-A3
+//	zsdb all      [-scale small|full]   everything above, in order
+//	zsdb train    -out model.gob        train a zero-shot model and save it
+//	zsdb eval     -model model.gob      evaluate a saved model on the unseen db
+//	zsdb explain  -sql "SELECT ..."     plan, execute and explain a query
+//	zsdb gendata  [-seed N]             print a generated schema (debugging)
+//
+// The small scale finishes in CPU-minutes; full approaches the paper's
+// setup (19 databases x 5000 queries) and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/engine"
+	"github.com/zeroshot-db/zeroshot/internal/experiments"
+	"github.com/zeroshot-db/zeroshot/internal/hwsim"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "figure3":
+		err = withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.Figure3(env)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	case "table1":
+		err = withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.Table1(env)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	case "dbsweep":
+		err = withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.DBCountSweep(env, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	case "fewshot":
+		err = withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.FewShot(env, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	case "ablation":
+		err = withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.Ablations(env)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
+	case "all":
+		err = withEnv(args, runAll)
+	case "train":
+		err = runTrain(args)
+	case "eval":
+		err = runEval(args)
+	case "explain":
+		err = runExplain(args)
+	case "gendata":
+		err = runGendata(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|all|train|eval|explain|gendata> [flags]`)
+}
+
+// scaleConfig resolves -scale and -seed flags into an experiment config.
+func scaleConfig(fs *flag.FlagSet, args []string) (experiments.Config, error) {
+	scale := fs.String("scale", "small", "experiment scale: small or full")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return experiments.Config{}, err
+	}
+	var cfg experiments.Config
+	switch *scale {
+	case "small":
+		cfg = experiments.SmallConfig()
+	case "full":
+		cfg = experiments.FullConfig()
+	default:
+		return cfg, fmt.Errorf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	return cfg, nil
+}
+
+func withEnv(args []string, run func(*experiments.Env) error) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	cfg, err := scaleConfig(fs, args)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "preparing environment: %d train dbs x %d queries, eval %d queries/workload...\n",
+		cfg.TrainDBs, cfg.QueriesPerDB, cfg.EvalQueries)
+	env, err := experiments.Prepare(cfg)
+	if err != nil {
+		return err
+	}
+	return run(env)
+}
+
+func runAll(env *experiments.Env) error {
+	f3, err := experiments.Figure3(env)
+	if err != nil {
+		return err
+	}
+	fmt.Print(f3.Render())
+	fmt.Println()
+	t1, err := experiments.Table1(env)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t1.Render())
+	fmt.Println()
+	sw, err := experiments.DBCountSweep(env, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sw.Render())
+	fmt.Println()
+	fsr, err := experiments.FewShot(env, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fsr.Render())
+	fmt.Println()
+	ab, err := experiments.Ablations(env)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ab.Render())
+	return nil
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	out := fs.String("out", "zeroshot-model.gob", "output model path")
+	dbs := fs.Int("dbs", 8, "number of training databases")
+	queries := fs.Int("queries", 300, "training queries per database")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := datagen.TrainingCorpus(*dbs, *seed, datagen.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	var samples []zeroshot.Sample
+	for i, db := range corpus {
+		recs, err := collect.Run(db, collect.Options{Queries: *queries, Seed: *seed + int64(i*1000)})
+		if err != nil {
+			return err
+		}
+		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardExact)
+		for _, r := range recs {
+			g, err := enc.Encode(r.Plan)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec})
+		}
+		fmt.Fprintf(os.Stderr, "collected %s (%d/%d)\n", db.Schema.Name, i+1, *dbs)
+	}
+	m := zeroshot.New(zeroshot.DefaultConfig())
+	res, err := m.Train(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d samples; loss %.4f -> %.4f\n",
+		len(samples), res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1])
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("saved zero-shot model to %s\n", *out)
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	modelPath := fs.String("model", "zeroshot-model.gob", "saved model path")
+	n := fs.Int("queries", 200, "evaluation queries")
+	scale := fs.Float64("dbscale", 0.1, "IMDB-like database scale")
+	seed := fs.Int64("seed", 99, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := zeroshot.Load(f, zeroshot.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	db, err := datagen.IMDBLike(*scale)
+	if err != nil {
+		return err
+	}
+	recs, err := collect.Run(db, collect.Options{Queries: *n, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	enc := encoding.NewPlanEncoder(db.Schema, encoding.CardExact)
+	preds := make([]float64, len(recs))
+	actuals := make([]float64, len(recs))
+	for i, r := range recs {
+		g, err := enc.Encode(r.Plan)
+		if err != nil {
+			return err
+		}
+		preds[i] = m.Predict(g)
+		actuals[i] = r.RuntimeSec
+	}
+	sum, err := metrics.Summarize(preds, actuals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zero-shot on unseen %s (%d queries): %v\n", db.Schema.Name, len(recs), sum)
+	return nil
+}
+
+// runExplain parses a SQL query against the IMDB-like database, plans it
+// (optionally under hypothetical indexes), executes it, and prints the
+// annotated plan with the simulated runtime — like EXPLAIN ANALYZE.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	sqlText := fs.String("sql", "", "query to explain (required)")
+	dbScale := fs.Float64("dbscale", 0.1, "IMDB-like database scale")
+	indexes := fs.String("indexes", "", "comma-separated hypothetical indexes, e.g. movie_companies.movie_id,title.production_year")
+	modelPath := fs.String("model", "", "optional saved zero-shot model for a runtime prediction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sqlText == "" {
+		return fmt.Errorf("explain: -sql is required")
+	}
+	db, err := datagen.IMDBLike(*dbScale)
+	if err != nil {
+		return err
+	}
+	q, err := sqlparse.Parse(*sqlText, db.Schema)
+	if err != nil {
+		return err
+	}
+	idx := optimizer.IndexSet{}
+	if *indexes != "" {
+		for _, k := range strings.Split(*indexes, ",") {
+			idx[strings.TrimSpace(k)] = true
+		}
+	}
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	opt := optimizer.New(db.Schema, st, idx, optimizer.DefaultCostParams())
+	p, err := opt.Plan(q)
+	if err != nil {
+		return err
+	}
+	res, err := engine.New(db, engine.Config{}).Execute(p)
+	if err != nil {
+		return err
+	}
+	sim := hwsim.New(hwsim.DefaultProfile(), 1)
+	fmt.Println(q.SQL())
+	fmt.Print(p.Explain())
+	fmt.Printf("rows: %d   optimizer cost: %.1f   simulated runtime: %.3fs\n",
+		res.Rows, optimizer.TotalCost(p), sim.RuntimeNoiseless(p))
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err := zeroshot.Load(f, zeroshot.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardEstimated)
+		g, err := enc.Encode(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("zero-shot predicted runtime: %.3fs\n", m.Predict(g))
+	}
+	return nil
+}
+
+func runGendata(args []string) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := datagen.Generate(fmt.Sprintf("gen%d", *seed), *seed, datagen.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(db.Schema.String())
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package zeroshotdb is a from-scratch Go reproduction of "One Model to
+// Rule them All: Towards Zero-Shot Learning for Databases" (Hilprecht and
+// Binnig, CIDR 2022).
+//
+// The repository implements the paper's zero-shot cost model — a graph
+// neural network over a transferable query-plan encoding, trained on query
+// executions from many databases and able to predict query runtimes on
+// databases it has never seen — together with every substrate the paper's
+// prototype depends on: a synthetic database generator, an in-memory
+// columnar execution engine, a cost-based query optimizer with what-if
+// index support, a statistics subsystem, a hardware/runtime simulator, a
+// tape-based autodiff library, and the workload-driven baselines (MSCN,
+// E2E, Scaled Optimizer Cost) it is evaluated against.
+//
+// Entry points:
+//
+//   - internal/zeroshot — the zero-shot cost model (train / predict /
+//     fine-tune / save / load)
+//   - internal/experiments — regenerates every table and figure of the
+//     paper's evaluation
+//   - cmd/zsdb — the experiment driver CLI
+//   - examples/ — runnable walkthroughs (quickstart, index advisor,
+//     few-shot adaptation, learned join ordering)
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package zeroshotdb

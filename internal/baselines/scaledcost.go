@@ -1,0 +1,61 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScaledCost is the "Scaled Optimizer Cost" baseline: a least-squares fit
+// of log(runtime) = a*log(cost) + b, i.e. a power-law rescaling of the
+// optimizer's internal cost metric to wall-clock runtime.
+type ScaledCost struct {
+	A, B   float64
+	fitted bool
+}
+
+// Fit estimates the parameters from (optimizer cost, runtime) pairs by
+// ordinary least squares in log-log space.
+func (s *ScaledCost) Fit(costs, runtimes []float64) error {
+	if len(costs) != len(runtimes) {
+		return fmt.Errorf("baselines: %d costs vs %d runtimes", len(costs), len(runtimes))
+	}
+	if len(costs) < 2 {
+		return fmt.Errorf("baselines: scaled cost needs at least 2 samples")
+	}
+	n := 0.0
+	var sx, sy, sxx, sxy float64
+	for i := range costs {
+		if costs[i] <= 0 || runtimes[i] <= 0 {
+			return fmt.Errorf("baselines: non-positive cost/runtime at %d", i)
+		}
+		x, y := math.Log(costs[i]), math.Log(runtimes[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		// Degenerate: every cost identical; fall back to constant model.
+		s.A = 0
+		s.B = sy / n
+		s.fitted = true
+		return nil
+	}
+	s.A = (n*sxy - sx*sy) / den
+	s.B = (sy - s.A*sx) / n
+	s.fitted = true
+	return nil
+}
+
+// Predict returns the predicted runtime in seconds for an optimizer cost.
+func (s *ScaledCost) Predict(cost float64) float64 {
+	if !s.fitted {
+		return 1
+	}
+	if cost <= 0 {
+		cost = 1e-9
+	}
+	return clampExp(s.A*math.Log(cost) + s.B)
+}

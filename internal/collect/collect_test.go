@@ -1,0 +1,125 @@
+package collect
+
+import (
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+)
+
+func TestRunCollectsRequestedCount(t *testing.T) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Run(db, Options{Queries: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("got %d records, want 40", len(recs))
+	}
+	for i, r := range recs {
+		if r.DB != "imdb" {
+			t.Fatalf("record %d DB = %s", i, r.DB)
+		}
+		if r.RuntimeSec <= 0 {
+			t.Fatalf("record %d runtime = %v", i, r.RuntimeSec)
+		}
+		if r.OptimizerCost <= 0 {
+			t.Fatalf("record %d optimizer cost = %v", i, r.OptimizerCost)
+		}
+		if r.Plan == nil || r.Plan.TrueRows < 0 {
+			t.Fatalf("record %d plan not executed", i)
+		}
+	}
+}
+
+func TestRunDeterministicRuntimes(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	a, err := Run(db, Options{Queries: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(db, Options{Queries: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].RuntimeSec != b[i].RuntimeSec {
+			t.Fatalf("record %d runtime differs: %v vs %v", i, a[i].RuntimeSec, b[i].RuntimeSec)
+		}
+		if a[i].Query.SQL() != b[i].Query.SQL() {
+			t.Fatalf("record %d query differs", i)
+		}
+	}
+}
+
+func TestRunWithCustomWorkload(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	recs, err := Run(db, Options{Queries: 15, Seed: 2, Workload: query.JOBLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if len(r.Query.Aggregates) != 1 || r.Query.Aggregates[0].Func != query.AggCount {
+			t.Fatalf("JOB-light record has aggregates %v", r.Query.Aggregates)
+		}
+	}
+}
+
+func TestRunWithIndexesProducesIndexPlans(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	idx := RandomIndexes(db, 3, 1.0, 0.5)
+	if len(idx) == 0 {
+		t.Fatal("RandomIndexes produced nothing at high probabilities")
+	}
+	recs, err := Run(db, Options{Queries: 60, Seed: 3, Indexes: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexScans := 0
+	for _, r := range recs {
+		r.Plan.Walk(func(n *plan.Node) {
+			if n.Op == plan.IndexScan {
+				indexScans++
+			}
+		})
+	}
+	if indexScans == 0 {
+		t.Fatal("no index scans in any collected plan despite indexes everywhere")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	if _, err := Run(db, Options{Queries: 0}); err == nil {
+		t.Fatal("accepted zero queries")
+	}
+}
+
+func TestRandomIndexesDeterministicAndProbabilistic(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	a := RandomIndexes(db, 7, 0.8, 0.3)
+	b := RandomIndexes(db, 7, 0.8, 0.3)
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatal("index sets differ for equal seeds")
+		}
+	}
+	none := RandomIndexes(db, 7, 0, 0)
+	if len(none) != 0 {
+		t.Fatalf("zero probabilities produced %d indexes", len(none))
+	}
+	// Primary keys never get secondary indexes.
+	all := RandomIndexes(db, 7, 1, 1)
+	for k := range all {
+		if k == "title.id" {
+			t.Fatal("indexed a primary key")
+		}
+	}
+}

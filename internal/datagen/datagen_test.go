@@ -1,0 +1,219 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+func TestGenerateProducesValidPopulatedDatabase(t *testing.T) {
+	db, err := Generate("g1", 42, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Schema.Validate(); err != nil {
+		t.Fatalf("generated schema invalid: %v", err)
+	}
+	for _, tm := range db.Schema.Tables {
+		tab := db.Table(tm.Name)
+		if tab == nil {
+			t.Fatalf("table %s has no data", tm.Name)
+		}
+		if tab.Rows() != tm.RowCount {
+			t.Fatalf("table %s: stored %d rows, schema says %d", tm.Name, tab.Rows(), tm.RowCount)
+		}
+		for ci, cm := range tm.Columns {
+			if got := tab.Cols[ci].Len(); got != tm.RowCount {
+				t.Fatalf("%s.%s: column length %d != rows %d", tm.Name, cm.Name, got, tm.RowCount)
+			}
+			if cm.DistinctCount <= 0 && tm.RowCount > 0 {
+				t.Fatalf("%s.%s: DistinctCount = %d", tm.Name, cm.Name, cm.DistinctCount)
+			}
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate("d", 7, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("d", 7, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Schema.Tables) != len(b.Schema.Tables) {
+		t.Fatalf("table counts differ: %d vs %d", len(a.Schema.Tables), len(b.Schema.Tables))
+	}
+	for i, tm := range a.Schema.Tables {
+		ta, tb := a.Table(tm.Name), b.Table(tm.Name)
+		if ta.Rows() != tb.Rows() {
+			t.Fatalf("table %s row counts differ", tm.Name)
+		}
+		for ci := range tm.Columns {
+			ca, cb := ta.Cols[ci], tb.Cols[ci]
+			for r := 0; r < ta.Rows(); r++ {
+				if ca.IsNull(r) != cb.IsNull(r) {
+					t.Fatalf("table %d col %d row %d null mismatch", i, ci, r)
+				}
+				if !ca.IsNull(r) && ca.AsFloat(r) != cb.AsFloat(r) {
+					t.Fatalf("table %d col %d row %d value mismatch", i, ci, r)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate("x", 1, DefaultConfig())
+	b, _ := Generate("x", 2, DefaultConfig())
+	// Different seeds should (overwhelmingly) produce different schemas or
+	// data; compare a cheap fingerprint.
+	fp := func(db *storage.Database) int {
+		sum := 0
+		for _, tm := range db.Schema.Tables {
+			sum = sum*31 + tm.RowCount + len(tm.Columns)
+		}
+		return sum
+	}
+	if fp(a) == fp(b) {
+		t.Fatal("different seeds produced identical schema fingerprints")
+	}
+}
+
+func TestForeignKeysReferenceExistingParents(t *testing.T) {
+	db, err := Generate("fk", 11, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fk := range db.Schema.ForeignKeys {
+		child := db.Table(fk.FromTable)
+		parentRows := db.Schema.Table(fk.ToTable).RowCount
+		col := child.Col(fk.FromColumn)
+		for r := 0; r < child.Rows(); r++ {
+			if col.IsNull(r) {
+				continue
+			}
+			v := col.Int(r)
+			if v < 0 || v >= int64(parentRows) {
+				t.Fatalf("%s.%s row %d references %d outside parent %s (%d rows)",
+					fk.FromTable, fk.FromColumn, r, v, fk.ToTable, parentRows)
+			}
+		}
+	}
+}
+
+func TestNullFracRespected(t *testing.T) {
+	db, err := IMDBLike(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.Table("title")
+	ci := tab.Meta.ColumnIndex("season_nr")
+	col := tab.Cols[ci]
+	nulls := 0
+	for r := 0; r < tab.Rows(); r++ {
+		if col.IsNull(r) {
+			nulls++
+		}
+	}
+	frac := float64(nulls) / float64(tab.Rows())
+	want := tab.Meta.Columns[ci].NullFrac
+	if math.Abs(frac-want) > 0.05 {
+		t.Fatalf("null fraction %v, want about %v", frac, want)
+	}
+}
+
+func TestBenchmarkDatabases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(float64) (*storage.Database, error)
+		want  []string
+	}{
+		{"imdb", IMDBLike, []string{"title", "movie_companies", "cast_info", "movie_info", "movie_keyword", "movie_info_idx"}},
+		{"ssb", SSBLike, []string{"lineorder", "customer", "part", "supplier", "ddate"}},
+		{"tpch", TPCHLike, []string{"region", "nation", "customer", "orders", "lineitem"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db, err := c.build(0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Schema.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if db.Schema.Name != c.name {
+				t.Fatalf("schema name = %s, want %s", db.Schema.Name, c.name)
+			}
+			for _, name := range c.want {
+				if db.Table(name) == nil {
+					t.Fatalf("missing table %s", name)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarkDatabasesRejectBadScale(t *testing.T) {
+	if _, err := IMDBLike(0); err == nil {
+		t.Fatal("IMDBLike(0) succeeded")
+	}
+	if _, err := SSBLike(-1); err == nil {
+		t.Fatal("SSBLike(-1) succeeded")
+	}
+	if _, err := TPCHLike(0); err == nil {
+		t.Fatal("TPCHLike(0) succeeded")
+	}
+}
+
+func TestTrainingCorpus(t *testing.T) {
+	dbs, err := TrainingCorpus(4, 100, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 4 {
+		t.Fatalf("got %d databases, want 4", len(dbs))
+	}
+	seen := map[string]bool{}
+	for _, db := range dbs {
+		if seen[db.Schema.Name] {
+			t.Fatalf("duplicate database name %s", db.Schema.Name)
+		}
+		seen[db.Schema.Name] = true
+	}
+}
+
+func TestScaleChangesRowCounts(t *testing.T) {
+	small, _ := IMDBLike(0.1)
+	big, _ := IMDBLike(0.5)
+	if small.Table("title").Rows() >= big.Table("title").Rows() {
+		t.Fatalf("scale not applied: %d >= %d", small.Table("title").Rows(), big.Table("title").Rows())
+	}
+}
+
+func TestCategoricalDomainsBounded(t *testing.T) {
+	db, err := Generate("cat", 33, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range db.Schema.Tables {
+		tab := db.Table(tm.Name)
+		for ci, cm := range tm.Columns {
+			if cm.Type != schema.TypeCategorical {
+				continue
+			}
+			if cm.DistinctCount > 64 {
+				t.Fatalf("%s.%s: categorical distinct count %d too large", tm.Name, cm.Name, cm.DistinctCount)
+			}
+			col := tab.Cols[ci]
+			for r := 0; r < tab.Rows(); r++ {
+				if col.Int(r) < 0 {
+					t.Fatalf("%s.%s: negative categorical code", tm.Name, cm.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package encoding
+
+import (
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+)
+
+// BenchmarkEncodePlan measures graph-encoding latency per plan.
+func BenchmarkEncodePlan(b *testing.B) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	opt := optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams())
+	qs, err := query.Synthetic(db, 20, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := make([]*plan.Node, 0, len(qs))
+	for _, q := range qs {
+		p, err := opt.Plan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	enc := NewPlanEncoder(db.Schema, CardEstimated)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(plans[i%len(plans)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package encoding
+
+import (
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/engine"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+func planFor(t *testing.T, db *storage.Database, q *query.Query, exec bool) *plan.Node {
+	t.Helper()
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	opt := optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams())
+	p, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec {
+		if _, err := engine.New(db, engine.Config{}).Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func joinQuery() *query.Query {
+	return &query.Query{
+		Tables: []string{"title", "movie_companies"},
+		Joins: []query.Join{{
+			Left:  query.ColumnRef{Table: "movie_companies", Column: "movie_id"},
+			Right: query.ColumnRef{Table: "title", Column: "id"},
+		}},
+		Filters: []query.Filter{
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 50},
+			{Col: query.ColumnRef{Table: "movie_companies", Column: "company_type_id"}, Op: query.OpEq, Value: 1},
+		},
+		Aggregates: []query.Aggregate{
+			{Func: query.AggMin, Col: query.ColumnRef{Table: "title", Column: "production_year"}},
+		},
+	}
+}
+
+func TestEncodeProducesAllNodeTypes(t *testing.T) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, db, joinQuery(), false)
+	g, err := NewPlanEncoder(db.Schema, CardEstimated).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[NodeType]int{}
+	for _, n := range g.Nodes {
+		counts[n.Type]++
+		if len(n.Feat) != FeatDim(n.Type) {
+			t.Fatalf("node type %d has %d features, want %d", n.Type, len(n.Feat), FeatDim(n.Type))
+		}
+	}
+	if counts[OpNode] < 4 { // 2 scans, 1 join, 1 agg
+		t.Fatalf("op nodes = %d, want >= 4", counts[OpNode])
+	}
+	if counts[TableNode] != 2 {
+		t.Fatalf("table nodes = %d, want 2", counts[TableNode])
+	}
+	if counts[PredNode] != 2 {
+		t.Fatalf("pred nodes = %d, want 2", counts[PredNode])
+	}
+	if counts[AggNode] != 1 {
+		t.Fatalf("agg nodes = %d, want 1", counts[AggNode])
+	}
+	if counts[ColumnNode] == 0 {
+		t.Fatal("no column nodes")
+	}
+	if g.Root == nil || g.Root.Type != OpNode {
+		t.Fatal("root is not an operator node")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	p := planFor(t, db, joinQuery(), false)
+	g, err := NewPlanEncoder(db.Schema, CardEstimated).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*GNode]bool{}
+	for _, n := range g.Nodes {
+		for _, c := range n.Children {
+			if !seen[c] {
+				t.Fatal("child appears after parent in Nodes order")
+			}
+		}
+		if seen[n] {
+			t.Fatal("node listed twice")
+		}
+		seen[n] = true
+	}
+	if g.Nodes[len(g.Nodes)-1] != g.Root {
+		t.Fatal("root is not last in topological order")
+	}
+}
+
+func TestColumnNodesShared(t *testing.T) {
+	// Two predicates on the same column must share one column node (DAG).
+	db, _ := datagen.IMDBLike(0.02)
+	q := &query.Query{
+		Tables: []string{"title"},
+		Filters: []query.Filter{
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 10},
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpLt, Value: 90},
+		},
+		Aggregates: []query.Aggregate{
+			{Func: query.AggMax, Col: query.ColumnRef{Table: "title", Column: "production_year"}},
+		},
+	}
+	p := planFor(t, db, q, false)
+	g, err := NewPlanEncoder(db.Schema, CardEstimated).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colCount := 0
+	for _, n := range g.Nodes {
+		if n.Type == ColumnNode {
+			colCount++
+		}
+	}
+	if colCount != 1 {
+		t.Fatalf("column nodes = %d, want 1 (shared)", colCount)
+	}
+}
+
+func TestCardSources(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	p := planFor(t, db, joinQuery(), true)
+
+	gEst, err := NewPlanEncoder(db.Schema, CardEstimated).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gExact, err := NewPlanEncoder(db.Schema, CardExact).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gNone, err := NewPlanEncoder(db.Schema, CardNone).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cardAt := plan.NumOperators + 1
+	anyDiffer := false
+	for i := range gEst.Nodes {
+		if gEst.Nodes[i].Type != OpNode {
+			continue
+		}
+		if gNone.Nodes[i].Feat[cardAt] != 0 {
+			t.Fatal("CardNone left a cardinality feature set")
+		}
+		if gEst.Nodes[i].Feat[cardAt] != gExact.Nodes[i].Feat[cardAt] {
+			anyDiffer = true
+		}
+	}
+	if !anyDiffer {
+		t.Fatal("estimated and exact cardinality features identical everywhere — estimates suspiciously perfect")
+	}
+}
+
+func TestCardExactRequiresExecution(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	p := planFor(t, db, joinQuery(), false)
+	if _, err := NewPlanEncoder(db.Schema, CardExact).Encode(p); err == nil {
+		t.Fatal("CardExact accepted an unexecuted plan")
+	}
+}
+
+// TestTransferability is the core property of the paper: encoding the
+// "same-shaped" query on two different databases yields features with
+// identical dimensions and identical semantics per position.
+func TestTransferability(t *testing.T) {
+	imdb, _ := datagen.IMDBLike(0.02)
+	ssb, _ := datagen.SSBLike(0.02)
+
+	qImdb := &query.Query{
+		Tables:     []string{"title"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 10}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	qSsb := &query.Query{
+		Tables:     []string{"lineorder"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "lineorder", Column: "quantity"}, Op: query.OpGt, Value: 10}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	p1 := planFor(t, imdb, qImdb, false)
+	p2 := planFor(t, ssb, qSsb, false)
+	g1, err := NewPlanEncoder(imdb.Schema, CardEstimated).Encode(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewPlanEncoder(ssb.Schema, CardEstimated).Encode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatalf("structurally identical queries produced %d vs %d nodes", len(g1.Nodes), len(g2.Nodes))
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i].Type != g2.Nodes[i].Type {
+			t.Fatalf("node %d type differs", i)
+		}
+		if len(g1.Nodes[i].Feat) != len(g2.Nodes[i].Feat) {
+			t.Fatalf("node %d feature dim differs", i)
+		}
+	}
+	// Same one-hot segments (operator identity, predicate op, data type)
+	// must match; magnitude features (row counts) may differ.
+	for i := range g1.Nodes {
+		n1, n2 := g1.Nodes[i], g2.Nodes[i]
+		if n1.Type == OpNode {
+			for j := 0; j < plan.NumOperators; j++ {
+				if n1.Feat[j] != n2.Feat[j] {
+					t.Fatalf("op one-hot differs at node %d", i)
+				}
+			}
+		}
+		if n1.Type == PredNode {
+			for j := range n1.Feat {
+				if n1.Feat[j] != n2.Feat[j] {
+					t.Fatalf("predicate features differ at node %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestVocabDeterministicAndBounded(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	v1 := NewVocab(db.Schema)
+	v2 := NewVocab(db.Schema)
+	for _, tm := range db.Schema.Tables {
+		if v1.TableSlot(tm.Name) != v2.TableSlot(tm.Name) {
+			t.Fatal("vocab not deterministic")
+		}
+		if v1.TableSlot(tm.Name) >= MaxVocabTables {
+			t.Fatal("table slot out of range")
+		}
+		for _, cm := range tm.Columns {
+			if v1.ColumnSlot(tm.Name, cm.Name) >= MaxVocabColumns {
+				t.Fatal("column slot out of range")
+			}
+		}
+	}
+}
+
+func TestMSCNFeaturization(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	f := NewMSCNFeaturizer(NewVocab(db.Schema), st)
+	q := joinQuery()
+	feats := f.Featurize(q)
+	if len(feats.Tables) != 2 || len(feats.Joins) != 1 || len(feats.Preds) != 2 {
+		t.Fatalf("set sizes: tables=%d joins=%d preds=%d", len(feats.Tables), len(feats.Joins), len(feats.Preds))
+	}
+	for _, v := range feats.Preds {
+		if len(v) != MSCNPredDim {
+			t.Fatalf("pred dim %d, want %d", len(v), MSCNPredDim)
+		}
+		lit := v[MSCNPredDim-1]
+		if lit < 0 || lit > 1 {
+			t.Fatalf("literal not normalized: %v", lit)
+		}
+	}
+	// One-hot sanity: exactly one table bit set per vector.
+	for _, v := range feats.Tables {
+		ones := 0
+		for _, x := range v {
+			if x == 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("table vector has %d ones", ones)
+		}
+	}
+}
+
+func TestE2EFeaturizationTreeShape(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	p := planFor(t, db, joinQuery(), false)
+	f := NewE2EFeaturizer(NewVocab(db.Schema), st)
+	root := f.Featurize(p)
+	var count func(*E2ENode) int
+	count = func(n *E2ENode) int {
+		c := 1
+		for _, ch := range n.Children {
+			c += count(ch)
+		}
+		return c
+	}
+	if got, want := count(root), p.Count(); got != want {
+		t.Fatalf("E2E tree has %d nodes, plan has %d", got, want)
+	}
+	if len(root.Feat) != E2ENodeDim {
+		t.Fatalf("E2E node dim %d, want %d", len(root.Feat), E2ENodeDim)
+	}
+}
+
+// TestOneHotNotTransferable documents the failure mode the paper fixes:
+// the same vocabulary applied to a different database maps different
+// tables onto the same one-hot slots.
+func TestOneHotNotTransferable(t *testing.T) {
+	imdb, _ := datagen.IMDBLike(0.02)
+	ssb, _ := datagen.SSBLike(0.02)
+	vImdb := NewVocab(imdb.Schema)
+	vSsb := NewVocab(ssb.Schema)
+	// Slot 0 means "cast_info" on IMDB but "customer" on SSB.
+	if vImdb.TableSlot("cast_info") != vSsb.TableSlot("customer") {
+		t.Skip("sorted orders happen to differ; the collision below still demonstrates the point")
+	}
+	if vImdb.TableSlot("cast_info") != 0 || vSsb.TableSlot("customer") != 0 {
+		t.Fatalf("expected slot 0 collisions, got %d and %d",
+			vImdb.TableSlot("cast_info"), vSsb.TableSlot("customer"))
+	}
+}
+
+func TestWithHardwareDoesNotMutateOriginal(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	p := planFor(t, db, joinQuery(), false)
+	base := NewPlanEncoder(db.Schema, CardEstimated)
+	hw := base.WithHardware(Hardware{RelCPU: 2, RelSeqIO: 2, RelRandIO: 2, CacheMB: 4, BufferPoolPages: 512})
+
+	gBase, err := base.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHW, err := hw.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwStart := plan.NumOperators + 4
+	for i, n := range gBase.Nodes {
+		if n.Type != OpNode {
+			continue
+		}
+		for j := hwStart; j < OpFeatDim; j++ {
+			if n.Feat[j] != 0 {
+				t.Fatalf("base encoder has hardware feature set at node %d", i)
+			}
+		}
+		set := false
+		for j := hwStart; j < OpFeatDim; j++ {
+			if gHW.Nodes[i].Feat[j] != 0 {
+				set = true
+			}
+		}
+		if !set {
+			t.Fatalf("hardware encoder left features zero at node %d", i)
+		}
+	}
+}
+
+func TestHardwareZeroValueIsAllZeros(t *testing.T) {
+	db, _ := datagen.IMDBLike(0.02)
+	p := planFor(t, db, joinQuery(), false)
+	a, err := NewPlanEncoder(db.Schema, CardEstimated).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlanEncoder(db.Schema, CardEstimated).WithHardware(Hardware{}).Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		for j := range a.Nodes[i].Feat {
+			if a.Nodes[i].Feat[j] != b.Nodes[i].Feat[j] {
+				t.Fatal("zero Hardware changed features")
+			}
+		}
+	}
+}

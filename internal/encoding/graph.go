@@ -1,0 +1,356 @@
+// Package encoding implements query featurization:
+//
+//   - the paper's transferable graph encoding (Figure 2): the entire query
+//     is a graph of plan-operator, table, column, predicate and aggregate
+//     nodes, each annotated with features that keep their meaning on any
+//     database (data types, row/page counts, cardinalities) — never names
+//     or one-hot column identities;
+//   - the non-transferable one-hot featurizations used by the
+//     workload-driven baselines (MSCN and E2E), kept faithful to their
+//     originals precisely because their failure to transfer is the paper's
+//     motivation.
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+)
+
+// NodeType enumerates graph node kinds of the zero-shot encoding.
+type NodeType int
+
+const (
+	// OpNode is a physical plan operator.
+	OpNode NodeType = iota
+	// TableNode is a base table with transferable statistics features.
+	TableNode
+	// ColumnNode is a column with data-type features.
+	ColumnNode
+	// PredNode is a filter predicate (structure only — no literal values,
+	// per the separation-of-concerns principle of Section 2.2).
+	PredNode
+	// AggNode is one aggregate expression.
+	AggNode
+)
+
+// NumNodeTypes is the number of graph node kinds.
+const NumNodeTypes = 5
+
+// HWFeatDim is the width of the optional hardware descriptor appended to
+// every operator node (zero when no hardware is specified), enabling the
+// Section 4.3 extension: predicting runtimes on unseen hardware.
+const HWFeatDim = 5
+
+// Feature vector dimensions per node type.
+const (
+	// OpFeatDim: operator one-hot, lookup-join flag, log cardinality,
+	// log width, log index height, hardware descriptor.
+	OpFeatDim = plan.NumOperators + 4 + HWFeatDim
+	// TableFeatDim: log rows, log pages, log row width.
+	TableFeatDim = 3
+	// ColumnFeatDim: data-type one-hot, log distinct, null fraction,
+	// width/16.
+	ColumnFeatDim = schema.NumDataTypes + 3
+	// PredFeatDim: comparison-operator one-hot.
+	PredFeatDim = query.NumCmpOps
+	// AggFeatDim: aggregate-function one-hot.
+	AggFeatDim = query.NumAggFuncs
+)
+
+// FeatDim returns the feature dimensionality of a node type.
+func FeatDim(t NodeType) int {
+	switch t {
+	case OpNode:
+		return OpFeatDim
+	case TableNode:
+		return TableFeatDim
+	case ColumnNode:
+		return ColumnFeatDim
+	case PredNode:
+		return PredFeatDim
+	case AggNode:
+		return AggFeatDim
+	default:
+		panic(fmt.Sprintf("encoding: unknown node type %d", int(t)))
+	}
+}
+
+// GNode is one node of the encoded query graph. Children point *into* the
+// node: hidden states flow child -> parent, and the plan root is the graph
+// root (the paper's bottom-up message passing on the DAG).
+type GNode struct {
+	Type     NodeType
+	Feat     []float64
+	Children []*GNode
+}
+
+// Graph is an encoded query: a DAG rooted at the plan's root operator.
+// Column nodes are shared between the predicates and aggregates that
+// reference them, so the structure is a DAG, not a tree.
+type Graph struct {
+	Root *GNode
+	// Nodes lists every node exactly once, children before parents
+	// (topological order), which the model uses for message passing.
+	Nodes []*GNode
+}
+
+// CardSource selects which cardinality annotation feeds the operator
+// features — the paper's exact vs estimated variants, plus an ablation
+// without cardinalities.
+type CardSource int
+
+const (
+	// CardEstimated uses the optimizer's estimates (plan.Node.EstRows).
+	CardEstimated CardSource = iota
+	// CardExact uses true cardinalities from execution (plan.Node.TrueRows).
+	CardExact
+	// CardNone zeroes the cardinality feature (ablation A3).
+	CardNone
+)
+
+// log1p compresses counts into model-friendly magnitude.
+func logScale(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Log1p(x) / 10 // keep features roughly in [0, 2]
+}
+
+// Hardware describes the target machine with transferable relative
+// features (speeds relative to a reference machine, capacities in absolute
+// units). The zero value means "hardware unspecified" and yields all-zero
+// hardware features, so hardware-agnostic models and datasets remain
+// well-defined.
+type Hardware struct {
+	// RelCPU, RelSeqIO and RelRandIO are the machine's CPU, sequential-IO
+	// and random-IO speeds relative to the reference machine (1 = equal,
+	// 2 = twice as fast).
+	RelCPU    float64
+	RelSeqIO  float64
+	RelRandIO float64
+	// CacheMB is the effective cache size in MiB.
+	CacheMB float64
+	// BufferPoolPages is the buffer pool size in pages.
+	BufferPoolPages float64
+}
+
+// features renders the descriptor as model inputs. Speeds enter as log
+// time-multipliers (-log(rel)): the model predicts log-runtime, so a
+// machine twice as fast shifts the target by a constant the network can
+// combine additively. The zero value yields all-zero features.
+func (h Hardware) features() [HWFeatDim]float64 {
+	logInv := func(rel float64) float64 {
+		if rel <= 0 {
+			return 0
+		}
+		return -math.Log(rel)
+	}
+	return [HWFeatDim]float64{
+		logInv(h.RelCPU),
+		logInv(h.RelSeqIO),
+		logInv(h.RelRandIO),
+		logScale(h.CacheMB),
+		logScale(h.BufferPoolPages),
+	}
+}
+
+// PlanEncoder encodes annotated physical plans into transferable graphs
+// for one schema. The encoder itself holds no learned state; two encoders
+// over different schemas produce features with identical semantics — the
+// transferability property.
+type PlanEncoder struct {
+	sch  *schema.Schema
+	card CardSource
+	hw   Hardware
+}
+
+// NewPlanEncoder creates an encoder for the schema using the cardinality
+// source.
+func NewPlanEncoder(sch *schema.Schema, card CardSource) *PlanEncoder {
+	return &PlanEncoder{sch: sch, card: card}
+}
+
+// WithHardware returns a copy of the encoder that annotates every operator
+// node with the hardware descriptor, enabling cross-hardware what-if
+// predictions (Section 4.3).
+func (e *PlanEncoder) WithHardware(hw Hardware) *PlanEncoder {
+	c := *e
+	c.hw = hw
+	return &c
+}
+
+// Encode builds the query graph for an optimizer-produced plan. With
+// CardExact the plan must have been executed (TrueRows filled).
+func (e *PlanEncoder) Encode(root *plan.Node) (*Graph, error) {
+	g := &Graph{}
+	colCache := map[string]*GNode{}
+	rootNode, err := e.encodeOp(root, g, colCache)
+	if err != nil {
+		return nil, err
+	}
+	g.Root = rootNode
+	return g, nil
+}
+
+// add appends the node to the topological order (children must already be
+// added) and returns it.
+func (g *Graph) add(n *GNode) *GNode {
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (e *PlanEncoder) cardOf(n *plan.Node) (float64, error) {
+	switch e.card {
+	case CardEstimated:
+		return n.EstRows, nil
+	case CardExact:
+		if n.TrueRows < 0 {
+			return 0, fmt.Errorf("encoding: exact cardinalities requested but plan not executed")
+		}
+		return n.TrueRows, nil
+	case CardNone:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("encoding: unknown cardinality source %d", int(e.card))
+	}
+}
+
+func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNode) (*GNode, error) {
+	node := &GNode{Type: OpNode, Feat: make([]float64, OpFeatDim)}
+	node.Feat[int(n.Op)] = 1
+	if n.LookupJoin {
+		node.Feat[plan.NumOperators] = 1
+	}
+	card, err := e.cardOf(n)
+	if err != nil {
+		return nil, err
+	}
+	if e.card != CardNone {
+		node.Feat[plan.NumOperators+1] = logScale(card)
+	}
+	node.Feat[plan.NumOperators+2] = logScale(n.Width)
+	if n.Op == plan.IndexScan {
+		tm := e.sch.Table(n.Table)
+		if tm != nil {
+			height := math.Ceil(math.Log(math.Max(float64(tm.RowCount), 2)) / math.Log(256))
+			node.Feat[plan.NumOperators+3] = height / 4
+		}
+	}
+	hwf := e.hw.features()
+	copy(node.Feat[plan.NumOperators+4:], hwf[:])
+
+	// Children: plan inputs first.
+	for _, c := range n.Children {
+		child, err := e.encodeOp(c, g, colCache)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, child)
+	}
+	// Scans attach their table node and predicate nodes.
+	if n.Op == plan.SeqScan || n.Op == plan.IndexScan {
+		tn, err := e.tableNode(n.Table, g)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, tn)
+	}
+	for _, f := range n.Filters {
+		pn, err := e.predNode(f, g, colCache)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, pn)
+	}
+	// Join conditions attach the joined column nodes.
+	if n.Join != nil {
+		for _, side := range []query.ColumnRef{n.Join.Left, n.Join.Right} {
+			cn, err := e.columnNode(side, g, colCache)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, cn)
+		}
+	}
+	// Aggregates and group-by columns.
+	for _, a := range n.Aggregates {
+		an, err := e.aggNode(a, g, colCache)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, an)
+	}
+	for _, gb := range n.GroupBy {
+		cn, err := e.columnNode(gb, g, colCache)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, cn)
+	}
+	return g.add(node), nil
+}
+
+func (e *PlanEncoder) tableNode(table string, g *Graph) (*GNode, error) {
+	tm := e.sch.Table(table)
+	if tm == nil {
+		return nil, fmt.Errorf("encoding: unknown table %s", table)
+	}
+	n := &GNode{Type: TableNode, Feat: []float64{
+		logScale(float64(tm.RowCount)),
+		logScale(float64(tm.PageCount)),
+		logScale(float64(tm.RowWidth())),
+	}}
+	return g.add(n), nil
+}
+
+func (e *PlanEncoder) columnNode(ref query.ColumnRef, g *Graph, cache map[string]*GNode) (*GNode, error) {
+	key := ref.String()
+	if n, ok := cache[key]; ok {
+		return n, nil
+	}
+	tm := e.sch.Table(ref.Table)
+	if tm == nil {
+		return nil, fmt.Errorf("encoding: unknown table %s", ref.Table)
+	}
+	cm := tm.Column(ref.Column)
+	if cm == nil {
+		return nil, fmt.Errorf("encoding: unknown column %s", ref)
+	}
+	feat := make([]float64, ColumnFeatDim)
+	feat[int(cm.Type)] = 1
+	feat[schema.NumDataTypes] = logScale(float64(cm.DistinctCount))
+	feat[schema.NumDataTypes+1] = cm.NullFrac
+	feat[schema.NumDataTypes+2] = float64(cm.Type.Width()) / 16
+	n := &GNode{Type: ColumnNode, Feat: feat}
+	cache[key] = n
+	return g.add(n), nil
+}
+
+func (e *PlanEncoder) predNode(f query.Filter, g *Graph, cache map[string]*GNode) (*GNode, error) {
+	cn, err := e.columnNode(f.Col, g, cache)
+	if err != nil {
+		return nil, err
+	}
+	feat := make([]float64, PredFeatDim)
+	feat[int(f.Op)] = 1
+	n := &GNode{Type: PredNode, Feat: feat, Children: []*GNode{cn}}
+	return g.add(n), nil
+}
+
+func (e *PlanEncoder) aggNode(a query.Aggregate, g *Graph, cache map[string]*GNode) (*GNode, error) {
+	feat := make([]float64, AggFeatDim)
+	feat[int(a.Func)] = 1
+	n := &GNode{Type: AggNode, Feat: feat}
+	if a.Col.Table != "" {
+		cn, err := e.columnNode(a.Col, g, cache)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = []*GNode{cn}
+	}
+	return g.add(n), nil
+}

@@ -1,0 +1,197 @@
+package encoding
+
+import (
+	"math"
+	"sort"
+
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+)
+
+// Fixed one-hot vocabulary sizes. The caps make feature dimensions
+// identical across databases so that a model trained on one database can
+// be *mechanically applied* to another — producing the semantically
+// inconsistent encodings (position i means different columns on different
+// databases) whose failure to generalize the paper demonstrates.
+const (
+	MaxVocabTables  = 16
+	MaxVocabColumns = 128
+	MaxVocabJoins   = 32
+)
+
+// Vocab maps a schema's tables, columns and FK joins to one-hot positions.
+type Vocab struct {
+	tableIdx map[string]int
+	colIdx   map[string]int
+	joinIdx  map[string]int
+}
+
+// NewVocab builds the vocabulary of one schema, assigning positions in
+// sorted-name order (deterministic).
+func NewVocab(sch *schema.Schema) *Vocab {
+	v := &Vocab{
+		tableIdx: map[string]int{},
+		colIdx:   map[string]int{},
+		joinIdx:  map[string]int{},
+	}
+	names := sch.TableNames()
+	for i, t := range names {
+		v.tableIdx[t] = i % MaxVocabTables
+	}
+	ci := 0
+	for _, t := range names {
+		tm := sch.Table(t)
+		cols := make([]string, len(tm.Columns))
+		for i, c := range tm.Columns {
+			cols[i] = c.Name
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			v.colIdx[t+"."+c] = ci % MaxVocabColumns
+			ci++
+		}
+	}
+	joins := make([]string, 0, len(sch.ForeignKeys))
+	for _, fk := range sch.ForeignKeys {
+		joins = append(joins, fk.FromTable+"."+fk.FromColumn+"="+fk.ToTable+"."+fk.ToColumn)
+	}
+	sort.Strings(joins)
+	for i, j := range joins {
+		v.joinIdx[j] = i % MaxVocabJoins
+	}
+	return v
+}
+
+// TableSlot returns the one-hot position of a table (0 if unknown — the
+// mechanical cross-database fallback).
+func (v *Vocab) TableSlot(table string) int { return v.tableIdx[table] }
+
+// ColumnSlot returns the one-hot position of table.column.
+func (v *Vocab) ColumnSlot(table, column string) int { return v.colIdx[table+"."+column] }
+
+// JoinSlot returns the one-hot position of a join condition, trying both
+// orientations.
+func (v *Vocab) JoinSlot(j query.Join) int {
+	k1 := j.Left.Table + "." + j.Left.Column + "=" + j.Right.Table + "." + j.Right.Column
+	if i, ok := v.joinIdx[k1]; ok {
+		return i
+	}
+	k2 := j.Right.Table + "." + j.Right.Column + "=" + j.Left.Table + "." + j.Left.Column
+	return v.joinIdx[k2] // 0 if unknown
+}
+
+// MSCNPredDim is the width of one MSCN predicate vector: column one-hot,
+// operator one-hot, normalized literal.
+const MSCNPredDim = MaxVocabColumns + query.NumCmpOps + 1
+
+// MSCNFeatures is the set-based featurization of MSCN (Kipf et al.):
+// one vector per table, join and predicate.
+type MSCNFeatures struct {
+	Tables [][]float64
+	Joins  [][]float64
+	Preds  [][]float64
+}
+
+// MSCNFeaturizer featurizes logical queries the MSCN way, using a vocab
+// (from the training database) and statistics for literal normalization.
+type MSCNFeaturizer struct {
+	vocab *Vocab
+	st    *stats.DBStats
+}
+
+// NewMSCNFeaturizer creates a featurizer with the given vocabulary and the
+// statistics of the database the queries run on.
+func NewMSCNFeaturizer(vocab *Vocab, st *stats.DBStats) *MSCNFeaturizer {
+	return &MSCNFeaturizer{vocab: vocab, st: st}
+}
+
+// normLiteral maps a literal into [0,1] within the column's value range.
+func normLiteral(st *stats.DBStats, col query.ColumnRef, val float64) float64 {
+	cs := st.Column(col.Table, col.Column)
+	if cs == nil || cs.Max <= cs.Min {
+		return 0.5
+	}
+	x := (val - cs.Min) / (cs.Max - cs.Min)
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Featurize encodes one query.
+func (f *MSCNFeaturizer) Featurize(q *query.Query) *MSCNFeatures {
+	out := &MSCNFeatures{}
+	for _, t := range q.Tables {
+		vec := make([]float64, MaxVocabTables)
+		vec[f.vocab.TableSlot(t)] = 1
+		out.Tables = append(out.Tables, vec)
+	}
+	for _, j := range q.Joins {
+		vec := make([]float64, MaxVocabJoins)
+		vec[f.vocab.JoinSlot(j)] = 1
+		out.Joins = append(out.Joins, vec)
+	}
+	for _, p := range q.Filters {
+		vec := make([]float64, MSCNPredDim)
+		vec[f.vocab.ColumnSlot(p.Col.Table, p.Col.Column)] = 1
+		vec[MaxVocabColumns+int(p.Op)] = 1
+		vec[MaxVocabColumns+query.NumCmpOps] = normLiteral(f.st, p.Col, p.Value)
+		out.Preds = append(out.Preds, vec)
+	}
+	return out
+}
+
+// E2ENodeDim is the per-node feature width of the E2E plan featurization:
+// operator one-hot, table one-hot, pooled predicate encoding (column
+// one-hot + operator one-hot + literal), log estimated cardinality, log
+// width.
+const E2ENodeDim = plan.NumOperators + MaxVocabTables + MSCNPredDim + 2
+
+// E2ENode is one node of the E2E tree featurization.
+type E2ENode struct {
+	Feat     []float64
+	Children []*E2ENode
+}
+
+// E2EFeaturizer featurizes physical plans the E2E way (Sun & Li): a tree
+// of one-hot node vectors including estimated cardinalities and literal
+// values — the end-to-end learning the paper contrasts with.
+type E2EFeaturizer struct {
+	vocab *Vocab
+	st    *stats.DBStats
+}
+
+// NewE2EFeaturizer creates a featurizer with the given vocabulary and
+// statistics.
+func NewE2EFeaturizer(vocab *Vocab, st *stats.DBStats) *E2EFeaturizer {
+	return &E2EFeaturizer{vocab: vocab, st: st}
+}
+
+// Featurize encodes one optimizer-produced plan tree.
+func (f *E2EFeaturizer) Featurize(p *plan.Node) *E2ENode {
+	n := &E2ENode{Feat: make([]float64, E2ENodeDim)}
+	n.Feat[int(p.Op)] = 1
+	off := plan.NumOperators
+	if p.Table != "" {
+		n.Feat[off+f.vocab.TableSlot(p.Table)] = 1
+	}
+	off += MaxVocabTables
+	// Sum-pool predicate encodings into the node vector.
+	for _, pr := range p.Filters {
+		n.Feat[off+f.vocab.ColumnSlot(pr.Col.Table, pr.Col.Column)] += 1
+		n.Feat[off+MaxVocabColumns+int(pr.Op)] += 1
+		n.Feat[off+MaxVocabColumns+query.NumCmpOps] += normLiteral(f.st, pr.Col, pr.Value)
+	}
+	off += MSCNPredDim
+	n.Feat[off] = math.Log1p(math.Max(p.EstRows, 0)) / 10
+	n.Feat[off+1] = math.Log1p(math.Max(p.Width, 0)) / 10
+	for _, c := range p.Children {
+		n.Children = append(n.Children, f.Featurize(c))
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+)
+
+func benchPlan(b *testing.B, q *query.Query) (*Executor, *plan.Node) {
+	b.Helper()
+	db, err := datagen.IMDBLike(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	opt := optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams())
+	p, err := opt.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(db, Config{}), p
+}
+
+func BenchmarkExecuteSeqScan(b *testing.B) {
+	ex, p := benchPlan(b, &query.Query{
+		Tables:     []string{"cast_info"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "cast_info", Column: "nr_order"}, Op: query.OpGt, Value: 5}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(p.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteTwoWayHashJoin(b *testing.B) {
+	ex, p := benchPlan(b, &query.Query{
+		Tables: []string{"title", "movie_companies"},
+		Joins: []query.Join{{
+			Left:  query.ColumnRef{Table: "movie_companies", Column: "movie_id"},
+			Right: query.ColumnRef{Table: "title", Column: "id"},
+		}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(p.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+)
+
+// AblationResult holds median Q-errors on the held-out database (synthetic
+// workload) for each ablated variant against the full zero-shot model.
+type AblationResult struct {
+	// ZeroShot is the full model (message passing, transferable encoding,
+	// exact cardinalities).
+	ZeroShot metrics.Summary
+	// OneHot (A1) trains an E2E-style one-hot model on the multi-database
+	// corpus: same training data as the zero-shot model, non-transferable
+	// encoding.
+	OneHot metrics.Summary
+	// FlatSum (A2) disables message passing.
+	FlatSum metrics.Summary
+	// EstCard and NoCard (A3) degrade the cardinality input.
+	EstCard metrics.Summary
+	NoCard  metrics.Summary
+}
+
+// Ablations runs A1-A3 on a prepared environment.
+func Ablations(env *Env) (*AblationResult, error) {
+	res := &AblationResult{}
+
+	evalSummary := func(m *zeroshot.Model, card encoding.CardSource) (metrics.Summary, error) {
+		preds, actuals, err := env.evalZeroShot(m, WorkloadSynthetic, card)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return metrics.Summarize(preds, actuals)
+	}
+
+	full, err := env.trainZeroShot(encoding.CardExact, false)
+	if err != nil {
+		return nil, err
+	}
+	if res.ZeroShot, err = evalSummary(full, encoding.CardExact); err != nil {
+		return nil, err
+	}
+
+	// A2: flat sum (no message passing).
+	cfgFlat := env.Cfg.Model
+	cfgFlat.FlatSum = true
+	samples, err := env.zeroShotSamples(encoding.CardExact, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	flat := zeroshot.New(cfgFlat)
+	if _, err := flat.Train(samples); err != nil {
+		return nil, err
+	}
+	if res.FlatSum, err = evalSummary(flat, encoding.CardExact); err != nil {
+		return nil, err
+	}
+
+	// A3: estimated / no cardinalities (trained and evaluated consistently).
+	est, err := env.trainZeroShot(encoding.CardEstimated, false)
+	if err != nil {
+		return nil, err
+	}
+	if res.EstCard, err = evalSummary(est, encoding.CardEstimated); err != nil {
+		return nil, err
+	}
+	none, err := env.trainZeroShot(encoding.CardNone, false)
+	if err != nil {
+		return nil, err
+	}
+	if res.NoCard, err = evalSummary(none, encoding.CardNone); err != nil {
+		return nil, err
+	}
+
+	// A1: one-hot (E2E) model trained on the SAME multi-database corpus —
+	// every training database featurized with its own vocabulary, then
+	// mechanically applied to the held-out database with its vocabulary.
+	var e2eSamples []baselines.E2ESample
+	for i, db := range env.TrainDBs {
+		st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+		f := encoding.NewE2EFeaturizer(encoding.NewVocab(db.Schema), st)
+		for _, r := range env.TrainRecords[i] {
+			e2eSamples = append(e2eSamples, baselines.E2ESample{
+				Root:       f.Featurize(r.Plan),
+				RuntimeSec: r.RuntimeSec,
+			})
+		}
+	}
+	oneHot := baselines.NewE2E(env.Cfg.E2E)
+	if err := oneHot.Train(e2eSamples); err != nil {
+		return nil, err
+	}
+	stEval := stats.Collect(env.EvalDB, stats.DefaultBuckets, stats.DefaultMCVs)
+	fEval := encoding.NewE2EFeaturizer(encoding.NewVocab(env.EvalDB.Schema), stEval)
+	var preds, actuals []float64
+	for _, r := range env.EvalRecords[WorkloadSynthetic] {
+		preds = append(preds, oneHot.Predict(fEval.Featurize(r.Plan)))
+		actuals = append(actuals, r.RuntimeSec)
+	}
+	if res.OneHot, err = metrics.Summarize(preds, actuals); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("== ablations: q-errors on unseen database (synthetic) ==\n")
+	fmt.Fprintf(&b, "%-42s %7s %7s %7s\n", "", "median", "95th", "max")
+	row := func(name string, s metrics.Summary) {
+		fmt.Fprintf(&b, "%-42s %7.2f %7.2f %7.2f\n", name, s.Median, s.P95, s.Max)
+	}
+	row("zero-shot (full)", r.ZeroShot)
+	row("A1 one-hot encoding (multi-DB trained)", r.OneHot)
+	row("A2 no message passing (flat sum)", r.FlatSum)
+	row("A3 estimated cardinalities", r.EstCard)
+	row("A3 no cardinalities", r.NoCard)
+	return b.String()
+}

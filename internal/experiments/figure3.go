@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/hwsim"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+)
+
+// Figure3Point is one (training-set size, model) measurement of one
+// workload panel.
+type Figure3Point struct {
+	TrainQueries int
+	// Median Q-error per model.
+	MSCN       float64
+	E2E        float64
+	ScaledCost float64
+}
+
+// Figure3Result reproduces the paper's Figure 3: per workload, the
+// workload-driven error curve over training-set size; the flat zero-shot
+// lines (which need no queries on the evaluation database); and the
+// training-data collection time panel.
+type Figure3Result struct {
+	// Curves maps workload name to baseline measurements per training size.
+	Curves map[string][]Figure3Point
+	// ZeroShotExact and ZeroShotEst map workload name to the median
+	// Q-error of the zero-shot model with exact / estimated cardinalities.
+	ZeroShotExact map[string]float64
+	ZeroShotEst   map[string]float64
+	// CollectionHours maps training-set size to the simulated hours of
+	// workload execution needed to collect it on the evaluation database
+	// (panel 4).
+	CollectionHours map[int]float64
+}
+
+// Figure3 runs experiment E1+E2.
+func Figure3(env *Env) (*Figure3Result, error) {
+	cfg := env.Cfg
+	res := &Figure3Result{
+		Curves:          map[string][]Figure3Point{},
+		ZeroShotExact:   map[string]float64{},
+		ZeroShotEst:     map[string]float64{},
+		CollectionHours: map[int]float64{},
+	}
+
+	// Zero-shot models: trained once on other databases, never on EvalDB.
+	zsExact, err := env.trainZeroShot(encoding.CardExact, false)
+	if err != nil {
+		return nil, err
+	}
+	zsEst, err := env.trainZeroShot(encoding.CardEstimated, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range EvalWorkloads {
+		preds, actuals, err := env.evalZeroShot(zsExact, w, encoding.CardExact)
+		if err != nil {
+			return nil, err
+		}
+		s, err := metrics.Summarize(preds, actuals)
+		if err != nil {
+			return nil, err
+		}
+		res.ZeroShotExact[w] = s.Median
+
+		preds, actuals, err = env.evalZeroShot(zsEst, w, encoding.CardEstimated)
+		if err != nil {
+			return nil, err
+		}
+		s, err = metrics.Summarize(preds, actuals)
+		if err != nil {
+			return nil, err
+		}
+		res.ZeroShotEst[w] = s.Median
+	}
+
+	// Workload-driven baselines: per training size, collect that many
+	// training queries ON the evaluation database (the cost the paper
+	// charges them), train, evaluate per workload.
+	maxSize := 0
+	for _, n := range cfg.BaselineSizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	trainPool, err := collect.Run(env.EvalDB, collect.Options{
+		Queries: maxSize,
+		Seed:    cfg.Seed + 777_000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline training pool: %w", err)
+	}
+	st := stats.Collect(env.EvalDB, stats.DefaultBuckets, stats.DefaultMCVs)
+	vocab := encoding.NewVocab(env.EvalDB.Schema)
+	mscnF := encoding.NewMSCNFeaturizer(vocab, st)
+	e2eF := encoding.NewE2EFeaturizer(vocab, st)
+
+	sizes := append([]int(nil), cfg.BaselineSizes...)
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		pool := trainPool[:n]
+		// Panel 4: hours of workload execution to collect n queries.
+		rts := make([]float64, n)
+		for i, r := range pool {
+			rts[i] = r.RuntimeSec
+		}
+		res.CollectionHours[n] = hwsim.CollectionHours(rts)
+
+		// MSCN.
+		mscnSamples := make([]baselines.MSCNSample, n)
+		for i, r := range pool {
+			mscnSamples[i] = baselines.MSCNSample{Feats: mscnF.Featurize(r.Query), RuntimeSec: r.RuntimeSec}
+		}
+		mscn := baselines.NewMSCN(cfg.MSCN)
+		if err := mscn.Train(mscnSamples); err != nil {
+			return nil, err
+		}
+		// E2E.
+		e2eSamples := make([]baselines.E2ESample, n)
+		for i, r := range pool {
+			e2eSamples[i] = baselines.E2ESample{Root: e2eF.Featurize(r.Plan), RuntimeSec: r.RuntimeSec}
+		}
+		e2e := baselines.NewE2E(cfg.E2E)
+		if err := e2e.Train(e2eSamples); err != nil {
+			return nil, err
+		}
+		// Scaled optimizer cost.
+		costs := make([]float64, n)
+		for i, r := range pool {
+			costs[i] = r.OptimizerCost
+		}
+		var sc baselines.ScaledCost
+		if err := sc.Fit(costs, rts); err != nil {
+			return nil, err
+		}
+
+		for _, w := range EvalWorkloads {
+			recs := env.EvalRecords[w]
+			var mP, eP, sP, actuals []float64
+			for _, r := range recs {
+				mP = append(mP, mscn.Predict(mscnF.Featurize(r.Query)))
+				eP = append(eP, e2e.Predict(e2eF.Featurize(r.Plan)))
+				sP = append(sP, sc.Predict(r.OptimizerCost))
+				actuals = append(actuals, r.RuntimeSec)
+			}
+			mS, err := metrics.Summarize(mP, actuals)
+			if err != nil {
+				return nil, err
+			}
+			eS, _ := metrics.Summarize(eP, actuals)
+			sS, _ := metrics.Summarize(sP, actuals)
+			res.Curves[w] = append(res.Curves[w], Figure3Point{
+				TrainQueries: n,
+				MSCN:         mS.Median,
+				E2E:          eS.Median,
+				ScaledCost:   sS.Median,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the result in the layout of the paper's figure: one block
+// per workload panel plus the collection-time panel.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	for _, w := range EvalWorkloads {
+		fmt.Fprintf(&b, "== %s: median q-error vs #training queries ==\n", w)
+		fmt.Fprintf(&b, "%12s %8s %8s %12s\n", "#queries", "MSCN", "E2E", "ScaledCost")
+		for _, p := range r.Curves[w] {
+			fmt.Fprintf(&b, "%12d %8.2f %8.2f %12.2f\n", p.TrainQueries, p.MSCN, p.E2E, p.ScaledCost)
+		}
+		fmt.Fprintf(&b, "%12s %8.2f (exact card., trained on other DBs only)\n", "zero-shot", r.ZeroShotExact[w])
+		fmt.Fprintf(&b, "%12s %8.2f (est. card., trained on other DBs only)\n", "zero-shot", r.ZeroShotEst[w])
+	}
+	b.WriteString("== training-data collection time (panel 4) ==\n")
+	var sizes []int
+	for n := range r.CollectionHours {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%12d queries: %7.2f h of executed workload\n", n, r.CollectionHours[n])
+	}
+	b.WriteString("zero-shot: 0.00 h on the unseen database (no training queries needed)\n")
+	return b.String()
+}

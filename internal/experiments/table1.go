@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+)
+
+// Table1Row is one workload row of the paper's Table 1.
+type Table1Row struct {
+	Workload string
+	Exact    metrics.Summary // zero-shot with exact cardinalities
+	Est      metrics.Summary // zero-shot with estimated cardinalities
+}
+
+// Table1Result reproduces Table 1: zero-shot Q-error summaries per
+// workload, with the index what-if row last.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs experiments E3 (rows 1-3) and E4 (the index row). The index
+// row uses a model additionally trained on index workloads of the training
+// databases, mirroring Section 4.1.
+func Table1(env *Env) (*Table1Result, error) {
+	zsExact, err := env.trainZeroShot(encoding.CardExact, false)
+	if err != nil {
+		return nil, err
+	}
+	zsEst, err := env.trainZeroShot(encoding.CardEstimated, false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	for _, w := range EvalWorkloads {
+		row := Table1Row{Workload: w}
+		preds, actuals, err := env.evalZeroShot(zsExact, w, encoding.CardExact)
+		if err != nil {
+			return nil, err
+		}
+		if row.Exact, err = metrics.Summarize(preds, actuals); err != nil {
+			return nil, err
+		}
+		preds, actuals, err = env.evalZeroShot(zsEst, w, encoding.CardEstimated)
+		if err != nil {
+			return nil, err
+		}
+		if row.Est, err = metrics.Summarize(preds, actuals); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Index row: models trained on plain + index workloads so they learn
+	// how index scans change runtimes.
+	wiExact, err := trainWhatIf(env, encoding.CardExact)
+	if err != nil {
+		return nil, err
+	}
+	wiEst, err := trainWhatIf(env, encoding.CardEstimated)
+	if err != nil {
+		return nil, err
+	}
+	row := Table1Row{Workload: WorkloadIndex}
+	preds, actuals, err := env.evalZeroShot(wiExact, WorkloadIndex, encoding.CardExact)
+	if err != nil {
+		return nil, err
+	}
+	if row.Exact, err = metrics.Summarize(preds, actuals); err != nil {
+		return nil, err
+	}
+	preds, actuals, err = env.evalZeroShot(wiEst, WorkloadIndex, encoding.CardEstimated)
+	if err != nil {
+		return nil, err
+	}
+	if row.Est, err = metrics.Summarize(preds, actuals); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+// trainWhatIf trains a zero-shot model on the union of plain and
+// index-workload training records.
+func trainWhatIf(env *Env, card encoding.CardSource) (*zeroshot.Model, error) {
+	plain, err := env.zeroShotSamples(card, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	indexed, err := env.zeroShotSamples(card, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	m := zeroshot.New(env.Cfg.Model)
+	if _, err := m.Train(append(plain, indexed...)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Render prints the result in the layout of the paper's Table 1.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("            Zero-Shot (Exact Card.)        Zero-Shot (Estimated Card.)\n")
+	fmt.Fprintf(&b, "%-11s %7s %7s %7s    %7s %7s %7s\n",
+		"Workload", "median", "95th", "max", "median", "95th", "max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s %7.2f %7.2f %7.2f    %7.2f %7.2f %7.2f\n",
+			row.Workload, row.Exact.Median, row.Exact.P95, row.Exact.Max,
+			row.Est.Median, row.Est.P95, row.Est.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	cases := []struct {
+		pred, actual, want float64
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{1, 2, 2},
+		{10, 2.5, 4},
+		{0.5, 5, 10},
+	}
+	for _, c := range cases {
+		if got := QError(c.pred, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QError(%v,%v) = %v, want %v", c.pred, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestQErrorAlwaysAtLeastOne(t *testing.T) {
+	f := func(p, a float64) bool {
+		q := QError(math.Abs(p), math.Abs(a))
+		return q >= 1 && !math.IsNaN(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQErrorSymmetric(t *testing.T) {
+	f := func(pRaw, aRaw uint32) bool {
+		p := float64(pRaw%10000) + 1
+		a := float64(aRaw%10000) + 1
+		return math.Abs(QError(p, a)-QError(a, p)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQErrorHandlesZero(t *testing.T) {
+	if q := QError(0, 1); math.IsNaN(q) || math.IsInf(q, 0) {
+		t.Fatalf("QError(0,1) = %v", q)
+	}
+	if q := QError(1, 0); q < 1e6 {
+		t.Fatalf("QError(1,0) = %v, want huge", q)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0.95); got != 5 {
+		t.Fatalf("P95 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileWithinBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		p := float64(pRaw) / 255
+		v := Percentile(raw, p)
+		return v >= Percentile(raw, 0) && v <= Percentile(raw, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	preds := []float64{1, 2, 4}
+	actuals := []float64{1, 1, 1}
+	s, err := Summarize(preds, actuals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 2 || s.Max != 4 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if _, err := Summarize([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if _, err := Summarize(nil, nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Max([]float64{1, 7, 3}) != 7 {
+		t.Fatal("max wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Median: 1.5, P95: 2.25, Max: 3, N: 10}
+	if got := s.String(); got != "median=1.50 p95=2.25 max=3.00 (n=10)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

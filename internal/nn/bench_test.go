@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul32x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewTensor(1, 32)
+	x.XavierInit(rng)
+	w := NewTensor(32, 32)
+	w.XavierInit(rng)
+	dst := NewTensor(1, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		MatMulInto(dst, x, w)
+	}
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mlp := NewMLP(rng, 16, 32, 32, 1)
+	x := NewTensor(1, 16)
+	x.XavierInit(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		mlp.Apply(tp, tp.Const(x))
+	}
+}
+
+func BenchmarkMLPTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	mlp := NewMLP(rng, 16, 32, 32, 1)
+	opt := NewAdam(mlp.Params(), 1e-3)
+	x := NewTensor(1, 16)
+	x.XavierInit(rng)
+	target := FromSlice([]float64{0.5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		out := mlp.Apply(tp, tp.Const(x))
+		loss := tp.HuberLoss(out, target, 1)
+		tp.Backward(loss)
+		opt.Step(1)
+		opt.ZeroGrad()
+	}
+}

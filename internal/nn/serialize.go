@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedTensor is the gob wire form of one parameter tensor.
+type savedTensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes parameter values (not optimizer state) to w in gob
+// encoding, in slice order. Models serialize by passing their Params() in
+// a stable order and deserialize into a freshly constructed model of the
+// same architecture.
+func SaveParams(w io.Writer, params []*Param) error {
+	out := make([]savedTensor, len(params))
+	for i, p := range params {
+		out[i] = savedTensor{Rows: p.Val.Rows, Cols: p.Val.Cols, Data: p.Val.Data}
+	}
+	return gob.NewEncoder(w).Encode(out)
+}
+
+// LoadParams reads parameter values from r into params; shapes must match
+// the saved model exactly.
+func LoadParams(r io.Reader, params []*Param) error {
+	var in []savedTensor
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(in) != len(params) {
+		return fmt.Errorf("nn: saved model has %d tensors, model expects %d", len(in), len(params))
+	}
+	for i, st := range in {
+		p := params[i]
+		if st.Rows != p.Val.Rows || st.Cols != p.Val.Cols {
+			return fmt.Errorf("nn: tensor %d shape %dx%d, model expects %dx%d",
+				i, st.Rows, st.Cols, p.Val.Rows, p.Val.Cols)
+		}
+		copy(p.Val.Data, st.Data)
+	}
+	return nil
+}

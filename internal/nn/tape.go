@@ -1,0 +1,215 @@
+package nn
+
+import "math"
+
+// Var is one node of the dynamic computation graph: a value tensor and its
+// gradient. Vars are created through Tape operations.
+type Var struct {
+	Val  *Tensor
+	Grad *Tensor
+}
+
+// Tape records operations for reverse-mode differentiation. Build the
+// forward computation through Tape methods, then call Backward on the
+// scalar loss. A Tape is built fresh per training sample, because plan
+// graphs differ from sample to sample.
+type Tape struct {
+	backward []func()
+}
+
+// NewTape creates an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// newVar allocates a Var with a zeroed gradient of matching shape.
+func newVar(val *Tensor) *Var {
+	return &Var{Val: val, Grad: NewTensor(val.Rows, val.Cols)}
+}
+
+// Leaf wraps a tensor as a graph input whose gradient accumulates into the
+// provided grad tensor (pass the persistent parameter gradient to train, or
+// a scratch tensor for constants).
+func (tp *Tape) Leaf(val, grad *Tensor) *Var {
+	sameShape(val, grad, "leaf")
+	return &Var{Val: val, Grad: grad}
+}
+
+// Const wraps a tensor whose gradient is discarded.
+func (tp *Tape) Const(val *Tensor) *Var { return newVar(val) }
+
+// MatMul returns a @ b.
+func (tp *Tape) MatMul(a, b *Var) *Var {
+	out := newVar(NewTensor(a.Val.Rows, b.Val.Cols))
+	MatMulInto(out.Val, a.Val, b.Val)
+	tp.backward = append(tp.backward, func() {
+		// dA += dOut @ B^T ; dB += A^T @ dOut
+		for i := 0; i < a.Val.Rows; i++ {
+			for k := 0; k < a.Val.Cols; k++ {
+				g := 0.0
+				for j := 0; j < b.Val.Cols; j++ {
+					g += out.Grad.At(i, j) * b.Val.At(k, j)
+				}
+				a.Grad.Data[i*a.Val.Cols+k] += g
+			}
+		}
+		for k := 0; k < b.Val.Rows; k++ {
+			for j := 0; j < b.Val.Cols; j++ {
+				g := 0.0
+				for i := 0; i < a.Val.Rows; i++ {
+					g += a.Val.At(i, k) * out.Grad.At(i, j)
+				}
+				b.Grad.Data[k*b.Val.Cols+j] += g
+			}
+		}
+	})
+	return out
+}
+
+// Add returns a + b (same shape).
+func (tp *Tape) Add(a, b *Var) *Var {
+	sameShape(a.Val, b.Val, "Add")
+	out := newVar(a.Val.Clone())
+	out.Val.AddInPlace(b.Val)
+	tp.backward = append(tp.backward, func() {
+		a.Grad.AddInPlace(out.Grad)
+		b.Grad.AddInPlace(out.Grad)
+	})
+	return out
+}
+
+// Sum returns the elementwise sum of one or more same-shaped Vars.
+func (tp *Tape) Sum(vs ...*Var) *Var {
+	if len(vs) == 0 {
+		panic("nn: Sum of nothing")
+	}
+	out := newVar(vs[0].Val.Clone())
+	for _, v := range vs[1:] {
+		out.Val.AddInPlace(v.Val)
+	}
+	tp.backward = append(tp.backward, func() {
+		for _, v := range vs {
+			v.Grad.AddInPlace(out.Grad)
+		}
+	})
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func (tp *Tape) ReLU(x *Var) *Var {
+	out := newVar(x.Val.Clone())
+	for i, v := range out.Val.Data {
+		if v < 0 {
+			out.Val.Data[i] = 0
+		}
+	}
+	tp.backward = append(tp.backward, func() {
+		for i := range x.Grad.Data {
+			if x.Val.Data[i] > 0 {
+				x.Grad.Data[i] += out.Grad.Data[i]
+			}
+		}
+	})
+	return out
+}
+
+// Concat concatenates row vectors (1 x n each) into one 1 x sum(n) vector.
+func (tp *Tape) Concat(vs ...*Var) *Var {
+	total := 0
+	for _, v := range vs {
+		if v.Val.Rows != 1 {
+			panic("nn: Concat expects row vectors")
+		}
+		total += v.Val.Cols
+	}
+	out := newVar(NewTensor(1, total))
+	off := 0
+	for _, v := range vs {
+		copy(out.Val.Data[off:off+v.Val.Cols], v.Val.Data)
+		off += v.Val.Cols
+	}
+	tp.backward = append(tp.backward, func() {
+		off := 0
+		for _, v := range vs {
+			for i := 0; i < v.Val.Cols; i++ {
+				v.Grad.Data[i] += out.Grad.Data[off+i]
+			}
+			off += v.Val.Cols
+		}
+	})
+	return out
+}
+
+// ScaleVar returns x * s for a constant scalar s.
+func (tp *Tape) ScaleVar(x *Var, s float64) *Var {
+	out := newVar(x.Val.Clone())
+	out.Val.Scale(s)
+	tp.backward = append(tp.backward, func() {
+		for i := range x.Grad.Data {
+			x.Grad.Data[i] += out.Grad.Data[i] * s
+		}
+	})
+	return out
+}
+
+// MSE returns the scalar 0.5*(pred - target)^2 summed over elements, as a
+// 1x1 Var. target is a constant.
+func (tp *Tape) MSE(pred *Var, target *Tensor) *Var {
+	sameShape(pred.Val, target, "MSE")
+	out := newVar(NewTensor(1, 1))
+	loss := 0.0
+	for i, p := range pred.Val.Data {
+		d := p - target.Data[i]
+		loss += 0.5 * d * d
+	}
+	out.Val.Data[0] = loss
+	tp.backward = append(tp.backward, func() {
+		g := out.Grad.Data[0]
+		for i, p := range pred.Val.Data {
+			pred.Grad.Data[i] += g * (p - target.Data[i])
+		}
+	})
+	return out
+}
+
+// HuberLoss returns the scalar Huber loss (delta=1) of pred vs target as a
+// 1x1 Var; more robust to runtime outliers than MSE.
+func (tp *Tape) HuberLoss(pred *Var, target *Tensor, delta float64) *Var {
+	sameShape(pred.Val, target, "Huber")
+	out := newVar(NewTensor(1, 1))
+	loss := 0.0
+	for i, p := range pred.Val.Data {
+		d := p - target.Data[i]
+		if math.Abs(d) <= delta {
+			loss += 0.5 * d * d
+		} else {
+			loss += delta * (math.Abs(d) - 0.5*delta)
+		}
+	}
+	out.Val.Data[0] = loss
+	tp.backward = append(tp.backward, func() {
+		g := out.Grad.Data[0]
+		for i, p := range pred.Val.Data {
+			d := p - target.Data[i]
+			switch {
+			case d > delta:
+				pred.Grad.Data[i] += g * delta
+			case d < -delta:
+				pred.Grad.Data[i] -= g * delta
+			default:
+				pred.Grad.Data[i] += g * d
+			}
+		}
+	})
+	return out
+}
+
+// Backward seeds the loss gradient with 1 and replays the tape in reverse.
+// loss must be a 1x1 Var produced by this tape.
+func (tp *Tape) Backward(loss *Var) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic("nn: Backward expects a scalar loss")
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(tp.backward) - 1; i >= 0; i-- {
+		tp.backward[i]()
+	}
+}

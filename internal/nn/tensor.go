@@ -1,0 +1,118 @@
+// Package nn is a small neural-network library built for this reproduction:
+// dense float64 tensors, tape-based reverse-mode automatic differentiation,
+// linear layers and MLPs, the Adam optimizer, and gob model serialization.
+//
+// It substitutes for the PyTorch stack the paper's prototype uses ("no GNN
+// training ecosystem" exists for offline stdlib-only Go). The dynamic tape
+// is what makes the zero-shot model possible: every query plan is a
+// different DAG, so the computation graph must be rebuilt per sample, and
+// gradients must flow through whatever structure was built.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix of float64.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTensor allocates a zeroed rows x cols tensor.
+func NewTensor(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a 1 x len(v) row vector copying v.
+func FromSlice(v []float64) *Tensor {
+	t := NewTensor(1, len(v))
+	copy(t.Data, v)
+	return t
+}
+
+// At returns the element at (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// sameShape panics unless a and b have identical shapes; shape mismatches
+// are programming errors, not runtime conditions.
+func sameShape(a, b *Tensor, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// AddInPlace accumulates other into t.
+func (t *Tensor) AddInPlace(other *Tensor) {
+	sameShape(t, other, "add")
+	for i, v := range other.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MatMulInto computes dst = a @ b. dst must be preallocated a.Rows x b.Cols.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// XavierInit fills the tensor with Glorot-uniform random values.
+func (t *Tensor) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,300 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+func imdbOptimizer(t *testing.T, indexes IndexSet) (*Optimizer, *storage.Database) {
+	t.Helper()
+	db, err := datagen.IMDBLike(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	return New(db.Schema, st, indexes, DefaultCostParams()), db
+}
+
+func twoWayJoin() *query.Query {
+	return &query.Query{
+		Tables: []string{"title", "movie_companies"},
+		Joins: []query.Join{{
+			Left:  query.ColumnRef{Table: "movie_companies", Column: "movie_id"},
+			Right: query.ColumnRef{Table: "title", Column: "id"},
+		}},
+		Filters: []query.Filter{
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 500},
+		},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+}
+
+func TestPlanSingleTable(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	q := &query.Query{
+		Tables:     []string{"title"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 100}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	p, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != plan.HashAggregate {
+		t.Fatalf("root op = %v, want Aggregate", p.Op)
+	}
+	if p.Children[0].Op != plan.SeqScan {
+		t.Fatalf("child op = %v, want Seq Scan", p.Children[0].Op)
+	}
+	if p.EstCost <= 0 || p.EstRows <= 0 {
+		t.Fatalf("missing annotations: cost=%v rows=%v", p.EstCost, p.EstRows)
+	}
+}
+
+func TestPlanJoinValidAndCosted(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	p, err := opt.Plan(twoWayJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	joinSeen := false
+	p.Walk(func(n *plan.Node) {
+		if n.Op == plan.HashJoin || n.Op == plan.NestedLoopJoin {
+			joinSeen = true
+		}
+		if n.EstRows < 1 {
+			t.Errorf("node %v has EstRows %v < 1", n.Op, n.EstRows)
+		}
+		if n.EstCost <= 0 {
+			t.Errorf("node %v has non-positive cost", n.Op)
+		}
+	})
+	if !joinSeen {
+		t.Fatal("no join operator in join query plan")
+	}
+	// Both tables must be scanned exactly once.
+	tabs := p.Tables()
+	if !tabs["title"] || !tabs["movie_companies"] {
+		t.Fatalf("plan scans %v", tabs)
+	}
+}
+
+func TestIndexScanChosenForSelectivePredicate(t *testing.T) {
+	idx := IndexSet{Key("title", "production_year"): true}
+	opt, _ := imdbOptimizer(t, idx)
+	// Highly selective equality predicate: index scan must win.
+	q := &query.Query{
+		Tables:     []string{"title"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpEq, Value: 7}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	p, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := p.Children[0]
+	if scan.Op != plan.IndexScan {
+		t.Fatalf("scan op = %v, want Index Scan\n%s", scan.Op, p.Explain())
+	}
+	if scan.IndexColumn != "production_year" {
+		t.Fatalf("index column = %s", scan.IndexColumn)
+	}
+	if len(scan.Filters) == 0 || scan.Filters[0].Col.Column != "production_year" {
+		t.Fatal("driving predicate not first in index scan filters")
+	}
+}
+
+func TestSeqScanChosenWithoutIndex(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	q := &query.Query{
+		Tables:     []string{"title"},
+		Filters:    []query.Filter{{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpEq, Value: 7}},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	p, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Children[0].Op != plan.SeqScan {
+		t.Fatalf("scan op = %v, want Seq Scan", p.Children[0].Op)
+	}
+}
+
+func TestWhatIfIndexChangesPlan(t *testing.T) {
+	// The same query planned with and without a hypothetical index on the
+	// join column must differ — this is the what-if mechanism of E4.
+	without, _ := imdbOptimizer(t, nil)
+	with, _ := imdbOptimizer(t, IndexSet{Key("movie_companies", "movie_id"): true})
+	q := &query.Query{
+		Tables: []string{"title", "movie_companies"},
+		Joins: []query.Join{{
+			Left:  query.ColumnRef{Table: "movie_companies", Column: "movie_id"},
+			Right: query.ColumnRef{Table: "title", Column: "id"},
+		}},
+		Filters: []query.Filter{
+			// Selective filter on title so the outer side is tiny and the
+			// nested-loop index join is attractive.
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpEq, Value: 3},
+		},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+	}
+	p1, err := without.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := with.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasNL := false
+	p2.Walk(func(n *plan.Node) {
+		if n.Op == plan.NestedLoopJoin {
+			hasNL = true
+		}
+	})
+	if !hasNL {
+		t.Fatalf("hypothetical index did not enable nested-loop join\n%s", p2.Explain())
+	}
+	if p2.EstCost >= p1.EstCost {
+		t.Fatalf("index plan not cheaper: %v >= %v", p2.EstCost, p1.EstCost)
+	}
+}
+
+func TestDPFindsConnectedPlanForFiveWayJoin(t *testing.T) {
+	opt, db := imdbOptimizer(t, nil)
+	qs, err := query.JOBLight(db, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		p, err := opt.Plan(q)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q.SQL(), err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid plan for %q: %v", q.SQL(), err)
+		}
+		// Every table scanned exactly once.
+		count := map[string]int{}
+		p.Walk(func(n *plan.Node) {
+			if n.Op == plan.SeqScan || n.Op == plan.IndexScan {
+				count[n.Table]++
+			}
+		})
+		for _, tname := range q.Tables {
+			if count[tname] != 1 {
+				t.Fatalf("table %s scanned %d times in plan for %q", tname, count[tname], q.SQL())
+			}
+		}
+	}
+}
+
+func TestPlanRejectsInvalidQuery(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	q := &query.Query{Tables: []string{"title", "movie_companies"}} // disconnected
+	if _, err := opt.Plan(q); err == nil {
+		t.Fatal("planned a disconnected query")
+	}
+}
+
+func TestCostModelPrefersCheaperBuildSide(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	p, err := opt.Plan(twoWayJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hj *plan.Node
+	p.Walk(func(n *plan.Node) {
+		if n.Op == plan.HashJoin {
+			hj = n
+		}
+	})
+	if hj == nil {
+		t.Skip("optimizer chose a non-hash join")
+	}
+	// The build side (child 1) should not be vastly larger than the probe
+	// side; with both orders considered, DP keeps the cheaper one.
+	build, probe := hj.Children[1].EstRows, hj.Children[0].EstRows
+	if build > probe*10 {
+		t.Fatalf("build side %v much larger than probe side %v", build, probe)
+	}
+}
+
+func TestBtreeHeightMonotone(t *testing.T) {
+	if btreeHeight(1) != 1 {
+		t.Fatal("height(1) != 1")
+	}
+	prev := 0.0
+	for _, n := range []float64{10, 1000, 1e5, 1e7, 1e9} {
+		h := btreeHeight(n)
+		if h < prev {
+			t.Fatalf("height not monotone at %v", n)
+		}
+		prev = h
+	}
+}
+
+func TestGroupByPlans(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	q := &query.Query{
+		Tables:     []string{"title"},
+		Aggregates: []query.Aggregate{{Func: query.AggCount}},
+		GroupBy:    []query.ColumnRef{{Table: "title", Column: "kind_id"}},
+	}
+	p, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != plan.HashAggregate || len(p.GroupBy) != 1 {
+		t.Fatalf("bad aggregate node: %s", p.Explain())
+	}
+	if p.EstRows <= 1 || math.IsNaN(p.EstRows) {
+		t.Fatalf("group-by EstRows = %v, want > 1", p.EstRows)
+	}
+}
+
+func TestPlanWithExternalCostFunction(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	q := twoWayJoin()
+	// Mirroring the analytical cost must reproduce the analytical plan.
+	analytical, err := opt.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored, err := opt.PlanWith(q, func(n *plan.Node) float64 { return n.EstCost })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytical.Explain() != mirrored.Explain() {
+		t.Fatalf("mirrored cost produced different plan:\n%s\nvs\n%s", analytical.Explain(), mirrored.Explain())
+	}
+	// An adversarial cost function (prefer expensive plans) must still
+	// produce a valid plan covering all tables.
+	worst, err := opt.PlanWith(q, func(n *plan.Node) float64 { return -n.EstCost })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := worst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tabs := worst.Tables()
+	if !tabs["title"] || !tabs["movie_companies"] {
+		t.Fatalf("adversarial plan scans %v", tabs)
+	}
+}
+
+func TestPlanWithRejectsNilCost(t *testing.T) {
+	opt, _ := imdbOptimizer(t, nil)
+	if _, err := opt.PlanWith(twoWayJoin(), nil); err == nil {
+		t.Fatal("accepted nil cost function")
+	}
+}

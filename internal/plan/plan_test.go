@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/query"
+)
+
+func samplePlan() *Node {
+	scanT := NewNode(SeqScan)
+	scanT.Table = "title"
+	scanT.Filters = []query.Filter{{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpGt, Value: 1990}}
+	scanT.EstRows = 100
+	scanT.EstCost = 10
+
+	scanMC := NewNode(IndexScan)
+	scanMC.Table = "movie_companies"
+	scanMC.IndexColumn = "movie_id"
+	scanMC.LookupJoin = true
+	scanMC.EstRows = 2
+	scanMC.EstCost = 1
+
+	join := NewNode(NestedLoopJoin)
+	join.Join = &query.Join{
+		Left:  query.ColumnRef{Table: "movie_companies", Column: "movie_id"},
+		Right: query.ColumnRef{Table: "title", Column: "id"},
+	}
+	join.Children = []*Node{scanT, scanMC}
+	join.EstRows = 200
+	join.EstCost = 30
+
+	agg := NewNode(HashAggregate)
+	agg.Aggregates = []query.Aggregate{{Func: query.AggCount}}
+	agg.Children = []*Node{join}
+	agg.EstRows = 1
+	agg.EstCost = 32
+	return agg
+}
+
+func TestValidateAcceptsWellFormedPlan(t *testing.T) {
+	if err := samplePlan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	p := samplePlan()
+	p.Children[0].Join = nil
+	if p.Validate() == nil {
+		t.Error("accepted join without condition")
+	}
+
+	p = samplePlan()
+	p.Children[0].Children = p.Children[0].Children[:1]
+	if p.Validate() == nil {
+		t.Error("accepted join with one child")
+	}
+
+	p = samplePlan()
+	p.Children[0].Children[0].Table = ""
+	if p.Validate() == nil {
+		t.Error("accepted scan without table")
+	}
+
+	p = samplePlan()
+	p.Children[0].Children[1].IndexColumn = ""
+	if p.Validate() == nil {
+		t.Error("accepted index scan without index column")
+	}
+
+	p = samplePlan()
+	p.Children = nil
+	if p.Validate() == nil {
+		t.Error("accepted aggregate without child")
+	}
+
+	bad := NewNode(Operator(99))
+	if bad.Validate() == nil {
+		t.Error("accepted unknown operator")
+	}
+}
+
+func TestWalkIsPostOrder(t *testing.T) {
+	p := samplePlan()
+	var ops []Operator
+	p.Walk(func(n *Node) { ops = append(ops, n.Op) })
+	want := []Operator{SeqScan, IndexScan, NestedLoopJoin, HashAggregate}
+	if len(ops) != len(want) {
+		t.Fatalf("visited %d nodes, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestCountAndTables(t *testing.T) {
+	p := samplePlan()
+	if p.Count() != 4 {
+		t.Fatalf("Count() = %d", p.Count())
+	}
+	tabs := p.Tables()
+	if !tabs["title"] || !tabs["movie_companies"] || len(tabs) != 2 {
+		t.Fatalf("Tables() = %v", tabs)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := samplePlan()
+	c := p.Clone()
+	c.Children[0].Join.Left.Column = "changed"
+	c.Children[0].Children[0].Filters[0].Value = -1
+	c.Children[0].Children[0].Table = "other"
+	if p.Children[0].Join.Left.Column == "changed" {
+		t.Error("join condition shared after Clone")
+	}
+	if p.Children[0].Children[0].Filters[0].Value == -1 {
+		t.Error("filters shared after Clone")
+	}
+	if p.Children[0].Children[0].Table == "other" {
+		t.Error("children shared after Clone")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{PagesRead: 1, TuplesIn: 2, TuplesOut: 3, PredEvals: 4, HashBuild: 5,
+		HashProbes: 6, IndexLookups: 7, IndexEntries: 8, AggUpdates: 9, Groups: 10, BytesOut: 11}
+	b := a
+	b.Add(a)
+	if b.PagesRead != 2 || b.TuplesIn != 4 || b.BytesOut != 22 || b.Groups != 20 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+}
+
+func TestExplainMentionsStructure(t *testing.T) {
+	out := samplePlan().Explain()
+	for _, want := range []string{"Aggregate", "Nested Loop", "Seq Scan on title", "Index Scan on movie_companies", "[lookup]", "COUNT(*)", "production_year > 1990"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	names := map[Operator]string{
+		SeqScan: "Seq Scan", IndexScan: "Index Scan", HashJoin: "Hash Join",
+		NestedLoopJoin: "Nested Loop", HashAggregate: "Aggregate",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", int(op), op.String())
+		}
+	}
+	if !strings.Contains(Operator(42).String(), "42") {
+		t.Error("unknown operator String()")
+	}
+}
+
+func TestNewNodeMarksTrueRowsUnknown(t *testing.T) {
+	if NewNode(SeqScan).TrueRows != -1 {
+		t.Fatal("TrueRows not initialized to -1")
+	}
+}

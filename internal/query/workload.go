@@ -1,0 +1,278 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// GenConfig controls random workload generation. Limits default to the
+// paper's workload envelope: up to five-way joins, up to five predicates,
+// up to three aggregates.
+type GenConfig struct {
+	// MaxTables bounds the number of joined tables (the paper uses 5).
+	MaxTables int
+	// MaxFilters bounds the number of predicates (the paper uses 5).
+	MaxFilters int
+	// MaxAggregates bounds the number of aggregates (the paper uses 3).
+	MaxAggregates int
+	// EqOnly restricts filters to equality predicates (JOB-light style:
+	// "rarely contain range predicates").
+	EqOnly bool
+	// RangeProb is the probability that a numeric filter is a range rather
+	// than an equality predicate (ignored when EqOnly).
+	RangeProb float64
+	// GroupByProb is the probability that an aggregate query groups by a
+	// low-cardinality column.
+	GroupByProb float64
+	// CountStarOnly restricts aggregates to a single COUNT(*).
+	CountStarOnly bool
+}
+
+// DefaultGenConfig returns the paper's workload envelope with a balanced
+// operator mix.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxTables:     5,
+		MaxFilters:    5,
+		MaxAggregates: 3,
+		RangeProb:     0.5,
+		GroupByProb:   0.2,
+	}
+}
+
+// Generator draws random queries against one database. Literals are sampled
+// from the stored data so that predicate selectivities span the full range
+// instead of being mostly empty.
+type Generator struct {
+	db  *storage.Database
+	cfg GenConfig
+	rng *rand.Rand
+}
+
+// NewGenerator creates a generator for the database with the given seed.
+func NewGenerator(db *storage.Database, cfg GenConfig, seed int64) *Generator {
+	if cfg.MaxTables < 1 {
+		cfg.MaxTables = 1
+	}
+	return &Generator{db: db, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate draws n queries. Every returned query validates against the
+// database schema.
+func (g *Generator) Generate(n int) ([]*Query, error) {
+	out := make([]*Query, 0, n)
+	for len(out) < n {
+		q := g.one()
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("query: generator produced invalid query %q: %w", q.SQL(), err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func (g *Generator) one() *Query {
+	q := &Query{}
+	g.pickTables(q)
+	g.pickFilters(q)
+	g.pickAggregates(q)
+	return q
+}
+
+// pickTables selects a connected subgraph of the FK graph by random
+// expansion from a random seed table.
+func (g *Generator) pickTables(q *Query) {
+	s := g.db.Schema
+	want := 1 + g.rng.Intn(g.cfg.MaxTables)
+	start := s.Tables[g.rng.Intn(len(s.Tables))].Name
+	included := map[string]bool{start: true}
+	q.Tables = []string{start}
+	for len(q.Tables) < want {
+		// Collect FK edges from included to excluded tables.
+		type edge struct {
+			fk schema.ForeignKey
+		}
+		var frontier []edge
+		for _, fk := range s.ForeignKeys {
+			inFrom, inTo := included[fk.FromTable], included[fk.ToTable]
+			if inFrom != inTo { // exactly one endpoint included
+				frontier = append(frontier, edge{fk})
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[g.rng.Intn(len(frontier))]
+		var next string
+		if included[e.fk.FromTable] {
+			next = e.fk.ToTable
+		} else {
+			next = e.fk.FromTable
+		}
+		included[next] = true
+		q.Tables = append(q.Tables, next)
+		q.Joins = append(q.Joins, Join{
+			Left:  ColumnRef{Table: e.fk.FromTable, Column: e.fk.FromColumn},
+			Right: ColumnRef{Table: e.fk.ToTable, Column: e.fk.ToColumn},
+		})
+	}
+}
+
+// pickFilters draws 0..MaxFilters single-column predicates with literals
+// sampled from stored rows.
+func (g *Generator) pickFilters(q *Query) {
+	nf := g.rng.Intn(g.cfg.MaxFilters + 1)
+	for i := 0; i < nf; i++ {
+		table := q.Tables[g.rng.Intn(len(q.Tables))]
+		tm := g.db.Schema.Table(table)
+		// Candidate columns: anything but the primary key (predicates on
+		// synthetic PKs are uninteresting and never appear in the paper's
+		// workloads).
+		var cands []schema.Column
+		for _, c := range tm.Columns {
+			if !c.PrimaryKey {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		col := cands[g.rng.Intn(len(cands))]
+		val, ok := g.sampleValue(table, col.Name)
+		if !ok {
+			continue
+		}
+		op := g.pickOp(col)
+		q.Filters = append(q.Filters, Filter{
+			Col:   ColumnRef{Table: table, Column: col.Name},
+			Op:    op,
+			Value: val,
+		})
+	}
+}
+
+func (g *Generator) pickOp(col schema.Column) CmpOp {
+	if g.cfg.EqOnly || !col.Type.Numeric() {
+		// Categorical columns take equality/inequality predicates only.
+		if !g.cfg.EqOnly && g.rng.Float64() < 0.1 {
+			return OpNeq
+		}
+		return OpEq
+	}
+	if g.rng.Float64() < g.cfg.RangeProb {
+		switch g.rng.Intn(4) {
+		case 0:
+			return OpLt
+		case 1:
+			return OpLe
+		case 2:
+			return OpGt
+		default:
+			return OpGe
+		}
+	}
+	return OpEq
+}
+
+// sampleValue picks the value of a random stored row, so predicate
+// selectivity is distributed like the data.
+func (g *Generator) sampleValue(table, column string) (float64, bool) {
+	tab := g.db.Table(table)
+	if tab == nil || tab.Rows() == 0 {
+		return 0, false
+	}
+	col := tab.Col(column)
+	for attempt := 0; attempt < 8; attempt++ {
+		r := g.rng.Intn(tab.Rows())
+		if col.IsNull(r) {
+			continue
+		}
+		return col.AsFloat(r), true
+	}
+	return 0, false
+}
+
+// pickAggregates draws 1..MaxAggregates aggregates (always at least one, as
+// in the paper's workloads) plus an optional GROUP BY.
+func (g *Generator) pickAggregates(q *Query) {
+	if g.cfg.CountStarOnly {
+		q.Aggregates = []Aggregate{{Func: AggCount}}
+		return
+	}
+	na := 1 + g.rng.Intn(g.cfg.MaxAggregates)
+	for i := 0; i < na; i++ {
+		if g.rng.Float64() < 0.4 {
+			q.Aggregates = append(q.Aggregates, Aggregate{Func: AggCount})
+			continue
+		}
+		// Numeric aggregate over a random numeric column.
+		table := q.Tables[g.rng.Intn(len(q.Tables))]
+		tm := g.db.Schema.Table(table)
+		var numeric []schema.Column
+		for _, c := range tm.Columns {
+			if c.Type.Numeric() && !c.PrimaryKey {
+				numeric = append(numeric, c)
+			}
+		}
+		if len(numeric) == 0 {
+			q.Aggregates = append(q.Aggregates, Aggregate{Func: AggCount})
+			continue
+		}
+		col := numeric[g.rng.Intn(len(numeric))]
+		funcs := []AggFunc{AggSum, AggAvg, AggMin, AggMax}
+		q.Aggregates = append(q.Aggregates, Aggregate{
+			Func: funcs[g.rng.Intn(len(funcs))],
+			Col:  ColumnRef{Table: table, Column: col.Name},
+		})
+	}
+	if g.rng.Float64() < g.cfg.GroupByProb {
+		table := q.Tables[g.rng.Intn(len(q.Tables))]
+		tm := g.db.Schema.Table(table)
+		var lowCard []schema.Column
+		for _, c := range tm.Columns {
+			if !c.PrimaryKey && c.DistinctCount > 0 && c.DistinctCount <= 256 {
+				lowCard = append(lowCard, c)
+			}
+		}
+		if len(lowCard) > 0 {
+			col := lowCard[g.rng.Intn(len(lowCard))]
+			q.GroupBy = []ColumnRef{{Table: table, Column: col.Name}}
+		}
+	}
+}
+
+// JOBLight generates the JOB-light evaluation workload analogue: COUNT(*)
+// star-join queries around the fact tables with mostly equality predicates.
+func JOBLight(db *storage.Database, n int, seed int64) ([]*Query, error) {
+	cfg := GenConfig{
+		MaxTables:     5,
+		MaxFilters:    4,
+		MaxAggregates: 1,
+		EqOnly:        false,
+		RangeProb:     0.1, // "rarely contain range predicates"
+		CountStarOnly: true,
+	}
+	return NewGenerator(db, cfg, seed).Generate(n)
+}
+
+// Scale generates the scale evaluation workload analogue: queries of varying
+// join count with range-heavy predicates and a single aggregate.
+func Scale(db *storage.Database, n int, seed int64) ([]*Query, error) {
+	cfg := GenConfig{
+		MaxTables:     5,
+		MaxFilters:    3,
+		MaxAggregates: 1,
+		RangeProb:     0.7,
+		GroupByProb:   0,
+	}
+	return NewGenerator(db, cfg, seed).Generate(n)
+}
+
+// Synthetic generates the synthetic evaluation workload analogue: the full
+// query envelope (joins, mixed predicates, multiple aggregates, group-by).
+func Synthetic(db *storage.Database, n int, seed int64) ([]*Query, error) {
+	return NewGenerator(db, DefaultGenConfig(), seed).Generate(n)
+}

@@ -1,0 +1,22 @@
+package zeroshot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// encodeGob and decodeGob wrap gob with package-prefixed errors.
+func encodeGob(w io.Writer, v any) error {
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("zeroshot: encode: %w", err)
+	}
+	return nil
+}
+
+func decodeGob(r io.Reader, v any) error {
+	if err := gob.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("zeroshot: decode: %w", err)
+	}
+	return nil
+}

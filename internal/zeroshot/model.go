@@ -1,0 +1,261 @@
+// Package zeroshot implements the paper's primary contribution: the
+// zero-shot cost model — a graph neural network over the transferable
+// query-plan encoding that is trained on query executions from many
+// databases and predicts runtimes on databases it has never seen.
+//
+// Architecture (Section 3.1 of the paper):
+//
+//  1. Node-type-specific encoder MLPs map each graph node's transferable
+//     features to a fixed-size initial hidden state.
+//  2. A bottom-up message-passing phase over the plan DAG: the hidden
+//     states of a node's children are summed (DeepSets) and combined with
+//     the node's own hidden state by an MLP.
+//  3. The root's hidden state feeds a readout MLP predicting log-runtime.
+//
+// Because every feature keeps its meaning across databases, the learned
+// weights transfer: inference on an unseen database is exactly the same
+// forward pass over that database's encoded plans.
+package zeroshot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/nn"
+)
+
+// Config holds model and training hyperparameters.
+type Config struct {
+	// Hidden is the hidden-state dimension.
+	Hidden int
+	// Epochs is the number of training passes.
+	Epochs int
+	// BatchSize is the number of samples per optimizer step.
+	BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed drives parameter initialization and shuffling.
+	Seed int64
+	// HuberDelta is the robust-loss threshold on log-runtime residuals.
+	HuberDelta float64
+	// FlatSum disables message passing (ablation A2): the prediction uses
+	// the sum of all node encodings with no structural combination.
+	FlatSum bool
+}
+
+// DefaultConfig returns hyperparameters sized for CPU training: small
+// enough to train in tens of seconds on a few thousand plans, large enough
+// to fit the runtime function.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:     32,
+		Epochs:     24,
+		BatchSize:  16,
+		LR:         3e-3,
+		Seed:       1,
+		HuberDelta: 1.0,
+	}
+}
+
+// Sample is one training example: an encoded plan graph and its runtime.
+type Sample struct {
+	Graph *encoding.Graph
+	// RuntimeSec is the (simulated) measured runtime in seconds.
+	RuntimeSec float64
+}
+
+// Model is the zero-shot cost model.
+type Model struct {
+	cfg      Config
+	encoders [encoding.NumNodeTypes]*nn.MLP
+	combine  *nn.MLP
+	readout  *nn.MLP
+	rng      *rand.Rand
+}
+
+// New creates a randomly initialized model.
+func New(cfg Config) *Model {
+	if cfg.Hidden <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg, rng: rng}
+	for t := 0; t < encoding.NumNodeTypes; t++ {
+		in := encoding.FeatDim(encoding.NodeType(t))
+		m.encoders[t] = nn.NewMLP(rng, in, cfg.Hidden, cfg.Hidden)
+	}
+	m.combine = nn.NewMLP(rng, 2*cfg.Hidden, cfg.Hidden, cfg.Hidden)
+	m.readout = nn.NewMLP(rng, cfg.Hidden, cfg.Hidden, 1)
+	return m
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns all trainable parameters in a stable order.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, e := range m.encoders {
+		ps = append(ps, e.Params()...)
+	}
+	ps = append(ps, m.combine.Params()...)
+	ps = append(ps, m.readout.Params()...)
+	return ps
+}
+
+// forward runs the graph network on the tape and returns the predicted
+// log-runtime as a 1x1 Var.
+func (m *Model) forward(tp *nn.Tape, g *encoding.Graph) *nn.Var {
+	hidden := make(map[*encoding.GNode]*nn.Var, len(g.Nodes))
+	var all []*nn.Var
+	for _, n := range g.Nodes {
+		h0 := m.encoders[n.Type].Apply(tp, tp.Const(nn.FromSlice(n.Feat)))
+		h := h0
+		if !m.cfg.FlatSum && len(n.Children) > 0 {
+			children := make([]*nn.Var, len(n.Children))
+			for i, c := range n.Children {
+				children[i] = hidden[c]
+			}
+			childSum := tp.Sum(children...)
+			h = m.combine.Apply(tp, tp.Concat(h0, childSum))
+		}
+		hidden[n] = h
+		all = append(all, h)
+	}
+	root := hidden[g.Root]
+	if m.cfg.FlatSum {
+		root = tp.ScaleVar(tp.Sum(all...), 1/float64(len(all)))
+	}
+	return m.readout.Apply(tp, root)
+}
+
+// Predict returns the predicted runtime in seconds for an encoded plan.
+func (m *Model) Predict(g *encoding.Graph) float64 {
+	tp := nn.NewTape()
+	out := m.forward(tp, g)
+	logRT := out.Val.Data[0]
+	// Clamp to a sane runtime band (1 microsecond .. ~3 hours) so a wild
+	// extrapolation cannot overflow downstream metrics.
+	if logRT > 9.2 {
+		logRT = 9.2
+	}
+	if logRT < -13.8 {
+		logRT = -13.8
+	}
+	return math.Exp(logRT)
+}
+
+// TrainResult reports the per-epoch mean training loss.
+type TrainResult struct {
+	EpochLoss []float64
+}
+
+// Train fits the model on the samples (runtime targets in log space,
+// Huber loss, Adam with minibatch accumulation). It returns the loss
+// trajectory. Training is deterministic for a fixed Config.Seed.
+func (m *Model) Train(samples []Sample) (*TrainResult, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("zeroshot: no training samples")
+	}
+	return m.train(samples, m.cfg.Epochs, m.cfg.LR)
+}
+
+// FineTune continues training on samples from a new database — the paper's
+// few-shot mode. A reduced learning rate preserves the pretrained system
+// knowledge while adapting to the target.
+func (m *Model) FineTune(samples []Sample, epochs int, lr float64) (*TrainResult, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("zeroshot: no fine-tuning samples")
+	}
+	if epochs <= 0 {
+		epochs = 8
+	}
+	if lr <= 0 {
+		lr = m.cfg.LR / 4
+	}
+	return m.train(samples, epochs, lr)
+}
+
+func (m *Model) train(samples []Sample, epochs int, lr float64) (*TrainResult, error) {
+	for i, s := range samples {
+		if s.Graph == nil || s.Graph.Root == nil {
+			return nil, fmt.Errorf("zeroshot: sample %d has no graph", i)
+		}
+		if s.RuntimeSec <= 0 || math.IsNaN(s.RuntimeSec) || math.IsInf(s.RuntimeSec, 0) {
+			return nil, fmt.Errorf("zeroshot: sample %d has invalid runtime %v", i, s.RuntimeSec)
+		}
+	}
+	opt := nn.NewAdam(m.Params(), lr)
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	res := &TrainResult{}
+	batch := m.cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		inBatch := 0
+		for _, idx := range order {
+			s := samples[idx]
+			tp := nn.NewTape()
+			out := m.forward(tp, s.Graph)
+			target := nn.FromSlice([]float64{math.Log(s.RuntimeSec)})
+			loss := tp.HuberLoss(out, target, m.cfg.HuberDelta)
+			tp.Backward(loss)
+			epochLoss += loss.Val.Data[0]
+			inBatch++
+			if inBatch == batch {
+				opt.Step(float64(inBatch))
+				opt.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(float64(inBatch))
+			opt.ZeroGrad()
+		}
+		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(samples)))
+	}
+	return res, nil
+}
+
+// savedModel is the gob header preceding the parameters.
+type savedModel struct {
+	Hidden  int
+	FlatSum bool
+}
+
+// Save writes the model architecture and weights to w.
+func (m *Model) Save(w io.Writer) error {
+	hdr := savedModel{Hidden: m.cfg.Hidden, FlatSum: m.cfg.FlatSum}
+	if err := encodeGob(w, hdr); err != nil {
+		return err
+	}
+	return nn.SaveParams(w, m.Params())
+}
+
+// Load reads a model saved by Save. Training hyperparameters of cfg are
+// kept; architecture fields must match the saved model.
+func Load(r io.Reader, cfg Config) (*Model, error) {
+	var hdr savedModel
+	if err := decodeGob(r, &hdr); err != nil {
+		return nil, err
+	}
+	if cfg.Hidden == 0 {
+		cfg = DefaultConfig()
+	}
+	cfg.Hidden = hdr.Hidden
+	cfg.FlatSum = hdr.FlatSum
+	m := New(cfg)
+	if err := nn.LoadParams(r, m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
