@@ -6,11 +6,15 @@
 package zeroshotdb_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/experiments"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
@@ -85,9 +89,9 @@ func benchFigure3Panel(b *testing.B, workload string) {
 		last := curve[len(curve)-1]
 		b.ReportMetric(res.ZeroShotExact[workload], "zs-exact-median")
 		b.ReportMetric(res.ZeroShotEst[workload], "zs-est-median")
-		b.ReportMetric(last.MSCN, "mscn-maxtrain-median")
-		b.ReportMetric(last.E2E, "e2e-maxtrain-median")
-		b.ReportMetric(last.ScaledCost, "scaledcost-median")
+		b.ReportMetric(last.Median[costmodel.NameMSCN], "mscn-maxtrain-median")
+		b.ReportMetric(last.Median[costmodel.NameE2E], "e2e-maxtrain-median")
+		b.ReportMetric(last.Median[costmodel.NameScaledCost], "scaledcost-median")
 	}
 }
 
@@ -235,4 +239,80 @@ func BenchmarkAblation_Cardinalities(b *testing.B) {
 		b.ReportMetric(res.NoCard.P95, "nocard-p95")
 		b.ReportMetric(res.ZeroShot.P95, "exact-p95")
 	}
+}
+
+// --- batched inference: the serving hot path ---
+
+var (
+	pbOnce sync.Once
+	pbEst  costmodel.Estimator
+	pbIns  []costmodel.PlanInput
+	pbErr  error
+)
+
+// predictBatchSetup trains one zero-shot estimator on an IMDB-like
+// database and prepares a batch of prediction inputs — the shape of one
+// /v1/predict_batch request against `zsdb serve`.
+func predictBatchSetup(b *testing.B) (costmodel.Estimator, []costmodel.PlanInput) {
+	b.Helper()
+	pbOnce.Do(func() {
+		db, err := datagen.IMDBLike(0.08)
+		if err != nil {
+			pbErr = err
+			return
+		}
+		recs, err := collect.Run(db, collect.Options{Queries: 256, Seed: 7})
+		if err != nil {
+			pbErr = err
+			return
+		}
+		samples := costmodel.FromRecords(db, recs)
+		est, err := costmodel.New(costmodel.NameZeroShot,
+			costmodel.Options{Hidden: 24, Epochs: 4, Card: encoding.CardExact})
+		if err != nil {
+			pbErr = err
+			return
+		}
+		if _, err := est.Fit(context.Background(), samples[:128]); err != nil {
+			pbErr = err
+			return
+		}
+		pbEst = est
+		pbIns = costmodel.Inputs(samples)
+	})
+	if pbErr != nil {
+		b.Fatal(pbErr)
+	}
+	return pbEst, pbIns
+}
+
+// BenchmarkPredictBatch_Serial predicts a 256-plan batch one input at a
+// time — the pre-costmodel inference path.
+func BenchmarkPredictBatch_Serial(b *testing.B) {
+	est, ins := predictBatchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if _, err := est.Predict(ctx, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkPredictBatch_Parallel predicts the same batch through
+// PredictBatch's GOMAXPROCS worker pool; the preds/s ratio over the
+// serial benchmark is the speedup of the new hot path.
+func BenchmarkPredictBatch_Parallel(b *testing.B) {
+	est, ins := predictBatchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.PredictBatch(ctx, ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
 }

@@ -1,31 +1,51 @@
-// Command zsdb is the experiment driver for the zero-shot cost estimation
-// reproduction. It regenerates every table and figure of the paper's
-// evaluation and provides train/eval plumbing around saved models.
+// Command zsdb is the experiment driver and model server for the
+// zero-shot cost estimation reproduction. It regenerates every table and
+// figure of the paper's evaluation, trains and evaluates any estimator in
+// the costmodel registry, and serves saved models over HTTP.
 //
 // Usage:
 //
-//	zsdb figure3  [-scale small|full]   reproduce Figure 3 (E1+E2)
-//	zsdb table1   [-scale small|full]   reproduce Table 1 (E3+E4)
-//	zsdb dbsweep  [-scale small|full]   training-database-count sweep (E5)
-//	zsdb fewshot  [-scale small|full]   few-shot vs from-scratch (E6)
-//	zsdb ablation [-scale small|full]   ablations A1-A3
-//	zsdb all      [-scale small|full]   everything above, in order
-//	zsdb train    -out model.gob        train a zero-shot model and save it
-//	zsdb eval     -model model.gob      evaluate a saved model on the unseen db
-//	zsdb explain  -sql "SELECT ..."     plan, execute and explain a query
-//	zsdb gendata  [-seed N]             print a generated schema (debugging)
+//	zsdb figure3  [-scale small|full]      reproduce Figure 3 (E1+E2)
+//	zsdb table1   [-scale small|full]      reproduce Table 1 (E3+E4)
+//	zsdb dbsweep  [-scale small|full]      training-database-count sweep (E5)
+//	zsdb fewshot  [-scale small|full]      few-shot vs from-scratch (E6)
+//	zsdb ablation [-scale small|full]      ablations A1-A3
+//	zsdb all      [-scale small|full]      everything above, in order
+//	zsdb train    [-estimator zeroshot] [-card estimated] -out model.gob
+//	                                       train a registry estimator and save it
+//	zsdb eval     -model model.gob         evaluate a saved model on the unseen db
+//	zsdb serve    -models m1.gob,m2.gob    HTTP prediction service (see below)
+//	zsdb explain  -sql "SELECT ..."        plan, execute and explain a query
+//	zsdb gendata  [-seed N]                print a generated schema (debugging)
+//
+// Saved model files are self-describing: eval, serve and explain
+// reconstruct the right estimator from the file header via the costmodel
+// registry — no architecture flags needed.
+//
+// zsdb serve exposes a JSON API over a simulated database:
+//
+//	GET  /healthz           liveness + loaded model count
+//	GET  /v1/models         loaded models and the serving database
+//	POST /v1/predict        {"model":"zeroshot","sql":"SELECT ..."}
+//	POST /v1/predict_batch  {"model":"zeroshot","sql":["...", "..."]}
+//
+// Models destined for serving should be trained with estimated
+// cardinalities (the train default): at serving time queries are planned
+// but not executed, so exact cardinalities do not exist.
 //
 // The small scale finishes in CPU-minutes; full approaches the paper's
 // setup (19 databases x 5000 queries) and takes hours.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/engine"
@@ -35,7 +55,6 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/optimizer"
 	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
 	"github.com/zeroshot-db/zeroshot/internal/stats"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
 func main() {
@@ -43,11 +62,24 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	if err := run(os.Args[1], os.Args[2:]); err != nil {
+		if err == errUnknownCommand {
+			usage()
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "zsdb:", err)
+		os.Exit(1)
+	}
+}
+
+// errUnknownCommand signals a dispatch failure (exit code 2, with usage).
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// run dispatches one CLI invocation; it is the testable entry point.
+func run(cmd string, args []string) error {
 	switch cmd {
 	case "figure3":
-		err = withEnv(args, func(env *experiments.Env) error {
+		return withEnv(args, func(env *experiments.Env) error {
 			res, err := experiments.Figure3(env)
 			if err != nil {
 				return err
@@ -56,7 +88,7 @@ func main() {
 			return nil
 		})
 	case "table1":
-		err = withEnv(args, func(env *experiments.Env) error {
+		return withEnv(args, func(env *experiments.Env) error {
 			res, err := experiments.Table1(env)
 			if err != nil {
 				return err
@@ -65,7 +97,7 @@ func main() {
 			return nil
 		})
 	case "dbsweep":
-		err = withEnv(args, func(env *experiments.Env) error {
+		return withEnv(args, func(env *experiments.Env) error {
 			res, err := experiments.DBCountSweep(env, nil)
 			if err != nil {
 				return err
@@ -74,7 +106,7 @@ func main() {
 			return nil
 		})
 	case "fewshot":
-		err = withEnv(args, func(env *experiments.Env) error {
+		return withEnv(args, func(env *experiments.Env) error {
 			res, err := experiments.FewShot(env, nil)
 			if err != nil {
 				return err
@@ -83,7 +115,7 @@ func main() {
 			return nil
 		})
 	case "ablation":
-		err = withEnv(args, func(env *experiments.Env) error {
+		return withEnv(args, func(env *experiments.Env) error {
 			res, err := experiments.Ablations(env)
 			if err != nil {
 				return err
@@ -92,27 +124,24 @@ func main() {
 			return nil
 		})
 	case "all":
-		err = withEnv(args, runAll)
+		return withEnv(args, runAll)
 	case "train":
-		err = runTrain(args)
+		return runTrain(args)
 	case "eval":
-		err = runEval(args)
+		return runEval(args)
+	case "serve":
+		return runServe(args)
 	case "explain":
-		err = runExplain(args)
+		return runExplain(args)
 	case "gendata":
-		err = runGendata(args)
+		return runGendata(args)
 	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "zsdb:", err)
-		os.Exit(1)
+		return errUnknownCommand
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|all|train|eval|explain|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|all|train|eval|serve|explain|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.
@@ -133,6 +162,20 @@ func scaleConfig(fs *flag.FlagSet, args []string) (experiments.Config, error) {
 	}
 	cfg.Seed = *seed
 	return cfg, nil
+}
+
+// parseCard resolves a -card flag value into a cardinality source.
+func parseCard(s string) (encoding.CardSource, error) {
+	switch s {
+	case "estimated":
+		return encoding.CardEstimated, nil
+	case "exact":
+		return encoding.CardExact, nil
+	case "none":
+		return encoding.CardNone, nil
+	default:
+		return 0, fmt.Errorf("unknown cardinality source %q (want estimated, exact or none)", s)
+	}
 }
 
 func withEnv(args []string, run func(*experiments.Env) error) error {
@@ -185,6 +228,9 @@ func runAll(env *experiments.Env) error {
 
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	name := fs.String("estimator", costmodel.NameZeroShot,
+		fmt.Sprintf("registry estimator to train (one of %v)", costmodel.Names()))
+	card := fs.String("card", "estimated", "cardinality source for the graph encoding: estimated, exact or none")
 	out := fs.String("out", "zeroshot-model.gob", "output model path")
 	dbs := fs.Int("dbs", 8, "number of training databases")
 	queries := fs.Int("queries", 300, "training queries per database")
@@ -192,42 +238,46 @@ func runTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cardSrc, err := parseCard(*card)
+	if err != nil {
+		return err
+	}
+	est, err := costmodel.New(*name, costmodel.Options{Seed: *seed, Card: cardSrc})
+	if err != nil {
+		return err
+	}
 	corpus, err := datagen.TrainingCorpus(*dbs, *seed, datagen.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	var samples []zeroshot.Sample
+	var samples []costmodel.Sample
 	for i, db := range corpus {
 		recs, err := collect.Run(db, collect.Options{Queries: *queries, Seed: *seed + int64(i*1000)})
 		if err != nil {
 			return err
 		}
-		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardExact)
-		for _, r := range recs {
-			g, err := enc.Encode(r.Plan)
-			if err != nil {
-				return err
-			}
-			samples = append(samples, zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec})
-		}
+		samples = append(samples, costmodel.FromRecords(db, recs)...)
 		fmt.Fprintf(os.Stderr, "collected %s (%d/%d)\n", db.Schema.Name, i+1, *dbs)
 	}
-	m := zeroshot.New(zeroshot.DefaultConfig())
-	res, err := m.Train(samples)
+	report, err := est.Fit(context.Background(), samples)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "trained on %d samples; loss %.4f -> %.4f\n",
-		len(samples), res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1])
+	if len(report.EpochLoss) > 0 {
+		fmt.Fprintf(os.Stderr, "trained %s on %d samples; loss %.4f -> %.4f\n",
+			est.Name(), report.Samples, report.EpochLoss[0], report.EpochLoss[len(report.EpochLoss)-1])
+	} else {
+		fmt.Fprintf(os.Stderr, "fitted %s on %d samples\n", est.Name(), report.Samples)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := m.Save(f); err != nil {
+	if err := costmodel.Save(f, est); err != nil {
 		return err
 	}
-	fmt.Printf("saved zero-shot model to %s\n", *out)
+	fmt.Printf("saved %s model to %s\n", est.Name(), *out)
 	return nil
 }
 
@@ -240,12 +290,7 @@ func runEval(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	m, err := zeroshot.Load(f, zeroshot.DefaultConfig())
+	est, err := loadModelFile(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -257,23 +302,35 @@ func runEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	enc := encoding.NewPlanEncoder(db.Schema, encoding.CardExact)
-	preds := make([]float64, len(recs))
+	samples := costmodel.FromRecords(db, recs)
+	preds, err := est.PredictBatch(context.Background(), costmodel.Inputs(samples))
+	if err != nil {
+		return err
+	}
 	actuals := make([]float64, len(recs))
 	for i, r := range recs {
-		g, err := enc.Encode(r.Plan)
-		if err != nil {
-			return err
-		}
-		preds[i] = m.Predict(g)
 		actuals[i] = r.RuntimeSec
 	}
 	sum, err := metrics.Summarize(preds, actuals)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("zero-shot on unseen %s (%d queries): %v\n", db.Schema.Name, len(recs), sum)
+	fmt.Printf("%s on unseen %s (%d queries): %v\n", est.Name(), db.Schema.Name, len(recs), sum)
 	return nil
+}
+
+// loadModelFile opens and reconstructs one self-describing model file.
+func loadModelFile(path string) (costmodel.Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	est, err := costmodel.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return est, nil
 }
 
 // runExplain parses a SQL query against the IMDB-like database, plans it
@@ -284,7 +341,7 @@ func runExplain(args []string) error {
 	sqlText := fs.String("sql", "", "query to explain (required)")
 	dbScale := fs.Float64("dbscale", 0.1, "IMDB-like database scale")
 	indexes := fs.String("indexes", "", "comma-separated hypothetical indexes, e.g. movie_companies.movie_id,title.production_year")
-	modelPath := fs.String("model", "", "optional saved zero-shot model for a runtime prediction")
+	modelPath := fs.String("model", "", "optional saved cost model for a runtime prediction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -321,21 +378,17 @@ func runExplain(args []string) error {
 	fmt.Printf("rows: %d   optimizer cost: %.1f   simulated runtime: %.3fs\n",
 		res.Rows, optimizer.TotalCost(p), sim.RuntimeNoiseless(p))
 	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+		est, err := loadModelFile(*modelPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		m, err := zeroshot.Load(f, zeroshot.DefaultConfig())
+		pred, err := est.Predict(context.Background(), costmodel.PlanInput{
+			DB: db, Query: q, Plan: p, OptimizerCost: optimizer.TotalCost(p),
+		})
 		if err != nil {
 			return err
 		}
-		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardEstimated)
-		g, err := enc.Encode(p)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("zero-shot predicted runtime: %.3fs\n", m.Predict(g))
+		fmt.Printf("%s predicted runtime: %.3fs\n", est.Name(), pred)
 	}
 	return nil
 }

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// server is the HTTP prediction service: it plans incoming SQL against one
+// database and serves runtime predictions from loaded cost models. All
+// state is read-only after construction, so handlers run concurrently
+// without locking; batched predictions fan out through the estimators'
+// worker pools.
+type server struct {
+	db     *storage.Database
+	opt    *optimizer.Optimizer
+	models map[string]costmodel.Estimator
+}
+
+// newServer builds a server planning against db and serving the models.
+func newServer(db *storage.Database, models map[string]costmodel.Estimator) *server {
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	return &server{
+		db:     db,
+		opt:    optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams()),
+		models: models,
+	}
+}
+
+// mux wires the JSON API.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	return mux
+}
+
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "models": len(s.models)})
+}
+
+// modelInfo describes one loaded model in /v1/models.
+type modelInfo struct {
+	Name string `json:"name"`
+}
+
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names := make([]modelInfo, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, modelInfo{Name: name})
+	}
+	writeJSON(w, map[string]any{
+		"models":   names,
+		"database": s.db.Schema.Name,
+		"tables":   len(s.db.Schema.Tables),
+	})
+}
+
+// estimator resolves a request's model name; an empty name selects the
+// only loaded model when unambiguous.
+func (s *server) estimator(name string) (costmodel.Estimator, error) {
+	if name == "" {
+		if len(s.models) == 1 {
+			for _, est := range s.models {
+				return est, nil
+			}
+		}
+		return nil, fmt.Errorf("request must name a model (loaded: %s)", strings.Join(s.modelNames(), ", "))
+	}
+	est, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("model %q not loaded (loaded: %s)", name, strings.Join(s.modelNames(), ", "))
+	}
+	return est, nil
+}
+
+func (s *server) modelNames() []string {
+	out := make([]string, 0, len(s.models))
+	for name := range s.models {
+		out = append(out, name)
+	}
+	return out
+}
+
+// planInput parses and plans one SQL text into a prediction input. The
+// plan is NOT executed: predictions see exactly what a database would know
+// before running the query.
+func (s *server) planInput(sql string) (costmodel.PlanInput, error) {
+	q, err := sqlparse.Parse(sql, s.db.Schema)
+	if err != nil {
+		return costmodel.PlanInput{}, fmt.Errorf("parse: %w", err)
+	}
+	p, err := s.opt.Plan(q)
+	if err != nil {
+		return costmodel.PlanInput{}, fmt.Errorf("plan: %w", err)
+	}
+	return costmodel.PlanInput{
+		DB:            s.db,
+		Query:         q,
+		Plan:          p,
+		OptimizerCost: optimizer.TotalCost(p),
+	}, nil
+}
+
+// predictRequest is the /v1/predict body.
+type predictRequest struct {
+	Model string `json:"model"`
+	SQL   string `json:"sql"`
+}
+
+// predictResponse is the /v1/predict reply.
+type predictResponse struct {
+	Model         string  `json:"model"`
+	RuntimeSec    float64 `json:"runtime_sec"`
+	OptimizerCost float64 `json:"optimizer_cost"`
+	EstRows       float64 `json:"est_rows"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	est, err := s.estimator(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	in, err := s.planInput(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pred, err := est.Predict(r.Context(), in)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	writeJSON(w, predictResponse{
+		Model:         est.Name(),
+		RuntimeSec:    pred,
+		OptimizerCost: in.OptimizerCost,
+		EstRows:       in.Plan.EstRows,
+	})
+}
+
+// predictBatchRequest is the /v1/predict_batch body.
+type predictBatchRequest struct {
+	Model string   `json:"model"`
+	SQL   []string `json:"sql"`
+}
+
+// predictBatchResponse is the /v1/predict_batch reply; predictions align
+// with the request's sql array.
+type predictBatchResponse struct {
+	Model      string    `json:"model"`
+	RuntimeSec []float64 `json:"runtime_sec"`
+	Count      int       `json:"count"`
+}
+
+// maxBatch bounds one batch request; bigger workloads should be paged.
+const maxBatch = 4096
+
+func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req predictBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.SQL) == 0 {
+		httpError(w, http.StatusBadRequest, "sql array is required")
+		return
+	}
+	if len(req.SQL) > maxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.SQL), maxBatch)
+		return
+	}
+	est, err := s.estimator(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	ins := make([]costmodel.PlanInput, len(req.SQL))
+	for i, sql := range req.SQL {
+		if ins[i], err = s.planInput(sql); err != nil {
+			httpError(w, http.StatusBadRequest, "sql[%d]: %v", i, err)
+			return
+		}
+	}
+	preds, err := est.PredictBatch(r.Context(), ins)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	writeJSON(w, predictBatchResponse{Model: est.Name(), RuntimeSec: preds, Count: len(preds)})
+}
+
+// runServe loads the model files and serves the prediction API.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	modelPaths := fs.String("models", "", "comma-separated saved model files (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	dbScale := fs.Float64("dbscale", 0.1, "IMDB-like serving database scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPaths == "" {
+		return fmt.Errorf("serve: -models is required")
+	}
+	models := map[string]costmodel.Estimator{}
+	for _, path := range strings.Split(*modelPaths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		est, err := loadModelFile(path)
+		if err != nil {
+			return err
+		}
+		// Serve-time plans are never executed, so a model encoding exact
+		// cardinalities would fail every prediction — reject it at startup.
+		if zs, ok := est.(*costmodel.ZeroShot); ok && zs.Card() == encoding.CardExact {
+			return fmt.Errorf("serve: %s was trained with exact cardinalities, which do not exist for unexecuted plans; retrain with -card estimated", path)
+		}
+		if _, dup := models[est.Name()]; dup {
+			return fmt.Errorf("serve: two models named %q; serve one file per estimator kind", est.Name())
+		}
+		models[est.Name()] = est
+		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", est.Name(), path)
+	}
+	db, err := datagen.IMDBLike(*dbScale)
+	if err != nil {
+		return err
+	}
+	srv := newServer(db, models)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "serving %d model(s) over %s on %s\n",
+		len(models), db.Schema.Name, *addr)
+	return httpSrv.ListenAndServe()
+}

@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// serveFixture is one serving database with two trained estimators — the
+// zero-shot model (estimated cardinalities, so unexecuted plans predict)
+// and the scaled-cost regression.
+type serveFixture struct {
+	db     *storage.Database
+	models map[string]costmodel.Estimator
+}
+
+var (
+	serveOnce sync.Once
+	serveFix  serveFixture
+	serveErr  error
+)
+
+func sharedServeFixture(t *testing.T) serveFixture {
+	t.Helper()
+	serveOnce.Do(func() {
+		db, err := datagen.IMDBLike(0.08)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		recs, err := collect.Run(db, collect.Options{Queries: 60, Seed: 5})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		samples := costmodel.FromRecords(db, recs)
+		models := map[string]costmodel.Estimator{}
+		zs, err := costmodel.New(costmodel.NameZeroShot,
+			costmodel.Options{Hidden: 12, Epochs: 2, Card: encoding.CardEstimated})
+		if err == nil {
+			_, err = zs.Fit(context.Background(), samples)
+		}
+		if err != nil {
+			serveErr = err
+			return
+		}
+		models[zs.Name()] = zs
+		sc, err := costmodel.New(costmodel.NameScaledCost, costmodel.Options{})
+		if err == nil {
+			_, err = sc.Fit(context.Background(), samples)
+		}
+		if err != nil {
+			serveErr = err
+			return
+		}
+		models[sc.Name()] = sc
+		serveFix = serveFixture{db: db, models: models}
+	})
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	return serveFix
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	f := sharedServeFixture(t)
+	ts := httptest.NewServer(newServer(f.db, f.models).mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON response: %v", err)
+	}
+	return resp, out
+}
+
+const testSQL = "SELECT COUNT(*) FROM title WHERE production_year > 50"
+
+func TestServeHealthzAndModels(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Models != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var models struct {
+		Models   []modelInfo `json:"models"`
+		Database string      `json:"database"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 2 || models.Database == "" {
+		t.Fatalf("models = %+v", models)
+	}
+}
+
+func TestServePredict(t *testing.T) {
+	ts := newTestServer(t)
+	for _, model := range []string{costmodel.NameZeroShot, costmodel.NameScaledCost} {
+		resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: model, SQL: testSQL})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", model, resp.StatusCode, body)
+		}
+		var rt float64
+		if err := json.Unmarshal(body["runtime_sec"], &rt); err != nil || rt <= 0 {
+			t.Fatalf("%s: runtime_sec = %s (err %v)", model, body["runtime_sec"], err)
+		}
+	}
+}
+
+func TestServePredictErrors(t *testing.T) {
+	ts := newTestServer(t)
+	tests := []struct {
+		name string
+		body any
+		want int
+	}{
+		{name: "missing sql", body: predictRequest{Model: costmodel.NameZeroShot}, want: http.StatusBadRequest},
+		{name: "bad sql", body: predictRequest{Model: costmodel.NameZeroShot, SQL: "DROP TABLE title"}, want: http.StatusBadRequest},
+		{name: "unknown table", body: predictRequest{Model: costmodel.NameZeroShot, SQL: "SELECT COUNT(*) FROM nope"}, want: http.StatusBadRequest},
+		{name: "unknown model", body: predictRequest{Model: "nope", SQL: testSQL}, want: http.StatusNotFound},
+		{name: "ambiguous empty model", body: predictRequest{SQL: testSQL}, want: http.StatusNotFound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/predict", tt.body)
+			if resp.StatusCode != tt.want {
+				t.Fatalf("status %d, want %d (body %v)", resp.StatusCode, tt.want, body)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Fatal("error response missing error field")
+			}
+		})
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServePredictBatch(t *testing.T) {
+	ts := newTestServer(t)
+	sqls := []string{
+		testSQL,
+		"SELECT COUNT(*) FROM movie_companies",
+		"SELECT COUNT(*) FROM movie_companies, title WHERE movie_companies.movie_id = title.id",
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict_batch",
+		predictBatchRequest{Model: costmodel.NameZeroShot, SQL: sqls})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %v", resp.StatusCode, body)
+	}
+	var preds []float64
+	if err := json.Unmarshal(body["runtime_sec"], &preds); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(sqls) {
+		t.Fatalf("%d predictions for %d queries", len(preds), len(sqls))
+	}
+	for i, p := range preds {
+		if p <= 0 {
+			t.Fatalf("prediction %d not positive: %v", i, p)
+		}
+	}
+
+	// Batch-level validation.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict_batch", predictBatchRequest{Model: costmodel.NameZeroShot})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/predict_batch",
+		predictBatchRequest{Model: costmodel.NameZeroShot, SQL: []string{testSQL, "garbage"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with bad sql = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeRejectsExactCardModel checks the startup guard: serve-time
+// plans are never executed, so a zero-shot model encoding exact
+// cardinalities must be rejected when loading, not fail per-request.
+func TestServeRejectsExactCardModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exact.gob")
+	zs, err := costmodel.New(costmodel.NameZeroShot,
+		costmodel.Options{Hidden: 8, Card: encoding.CardExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := costmodel.Save(f, zs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = runServe([]string{"-models", path, "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "exact cardinalities") {
+		t.Fatalf("serve accepted an exact-cardinality model (err: %v)", err)
+	}
+}
+
+// TestServeConcurrentBatch hammers /v1/predict_batch from several clients
+// at once; run under -race this covers the serving hot path end to end.
+func TestServeConcurrentBatch(t *testing.T) {
+	ts := newTestServer(t)
+	sqls := make([]string, 16)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("SELECT COUNT(*) FROM title WHERE production_year > %d", i*7)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			model := costmodel.NameZeroShot
+			if c%2 == 1 {
+				model = costmodel.NameScaledCost
+			}
+			buf, _ := json.Marshal(predictBatchRequest{Model: model, SQL: sqls})
+			resp, err := http.Post(ts.URL+"/v1/predict_batch", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out predictBatchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errCh <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK || out.Count != len(sqls) {
+				errCh <- fmt.Errorf("client %d: status %d count %d", c, resp.StatusCode, out.Count)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -14,11 +14,16 @@
 //
 // Entry points:
 //
+//   - internal/costmodel — the unified Estimator API: one contract
+//     (Fit / Predict / PredictBatch / Save) over the zero-shot model and
+//     every baseline, a self-describing model registry, and worker-pool
+//     batched inference
 //   - internal/zeroshot — the zero-shot cost model (train / predict /
 //     fine-tune / save / load)
 //   - internal/experiments — regenerates every table and figure of the
-//     paper's evaluation
-//   - cmd/zsdb — the experiment driver CLI
+//     paper's evaluation by iterating over registry estimators
+//   - cmd/zsdb — the experiment driver CLI and the `zsdb serve` HTTP
+//     prediction service (POST /v1/predict, /v1/predict_batch)
 //   - examples/ — runnable walkthroughs (quickstart, index advisor,
 //     few-shot adaptation, learned join ordering)
 //

@@ -1,22 +1,26 @@
 // Quickstart: train a zero-shot cost model on a handful of synthetic
-// databases, then predict query runtimes on a database the model has never
-// seen — with no training queries on that database.
+// databases through the costmodel Estimator API, then batch-predict query
+// runtimes on a database the model has never seen — with no training
+// queries on that database.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Training corpus: four synthetic databases with different schemas,
 	//    sizes and data distributions (the paper trains on 19 real ones).
 	corpus, err := datagen.TrainingCorpus(4, 7, datagen.DefaultConfig())
@@ -24,39 +28,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Learning phase: execute a random workload on each database and
-	//    encode the executed plans with the transferable graph encoding.
-	var samples []zeroshot.Sample
+	// 2. Learning phase: execute a random workload on each database. The
+	//    estimator owns the transferable graph encoding — collected records
+	//    go in as-is, with their database as featurization context.
+	var samples []costmodel.Sample
 	for i, db := range corpus {
 		recs, err := collect.Run(db, collect.Options{Queries: 150, Seed: int64(100 * (i + 1))})
 		if err != nil {
 			log.Fatal(err)
 		}
-		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardExact)
-		for _, r := range recs {
-			g, err := enc.Encode(r.Plan)
-			if err != nil {
-				log.Fatal(err)
-			}
-			samples = append(samples, zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec})
-		}
+		samples = append(samples, costmodel.FromRecords(db, recs)...)
 		fmt.Printf("collected 150 training queries on %s (%d tables)\n",
 			db.Schema.Name, len(db.Schema.Tables))
 	}
 
-	cfg := zeroshot.DefaultConfig()
-	cfg.Hidden = 24
-	cfg.Epochs = 14
-	model := zeroshot.New(cfg)
-	res, err := model.Train(samples)
+	model, err := costmodel.New(costmodel.NameZeroShot, costmodel.Options{
+		Hidden: 24, Epochs: 14, Card: encoding.CardExact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := model.Fit(ctx, samples)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained zero-shot model on %d plans; loss %.3f -> %.3f\n\n",
-		len(samples), res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1])
+		report.Samples, report.EpochLoss[0], report.EpochLoss[len(report.EpochLoss)-1])
 
 	// 3. Zero-shot inference on an UNSEEN database: the SSB-like star
-	//    schema was never part of training.
+	//    schema was never part of training. PredictBatch fans the forward
+	//    passes out over all cores.
 	ssb, err := datagen.SSBLike(0.1)
 	if err != nil {
 		log.Fatal(err)
@@ -65,19 +66,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc := encoding.NewPlanEncoder(ssb.Schema, encoding.CardExact)
-	var preds, actuals []float64
+	evalSamples := costmodel.FromRecords(ssb, recs)
+	preds, err := model.PredictBatch(ctx, costmodel.Inputs(evalSamples))
+	if err != nil {
+		log.Fatal(err)
+	}
+	actuals := make([]float64, len(recs))
 	for i, r := range recs {
-		g, err := enc.Encode(r.Plan)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pred := model.Predict(g)
-		preds = append(preds, pred)
-		actuals = append(actuals, r.RuntimeSec)
+		actuals[i] = r.RuntimeSec
 		if i < 5 {
 			fmt.Printf("  %-70.70s  predicted %7.3fs  actual %7.3fs  q-error %.2f\n",
-				r.Query.SQL(), pred, r.RuntimeSec, metrics.QError(pred, r.RuntimeSec))
+				r.Query.SQL(), preds[i], r.RuntimeSec, metrics.QError(preds[i], r.RuntimeSec))
 		}
 	}
 	sum, err := metrics.Summarize(preds, actuals)

@@ -1,0 +1,3 @@
+module github.com/zeroshot-db/zeroshot
+
+go 1.22

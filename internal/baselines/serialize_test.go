@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+)
+
+// saveLoadFile round-trips a model through a real file. Files matter:
+// *os.File is not an io.ByteReader, so this exercises the stacked-decoder
+// guard that a bytes.Buffer round trip would silently skip.
+func saveLoadFile(t *testing.T, save func(f *os.File) error, load func(f *os.File) error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if err := load(rf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSCNSaveLoadFile(t *testing.T) {
+	cfg := DefaultMSCNConfig()
+	cfg.Hidden = 8
+	m := NewMSCN(cfg)
+	feats := &encoding.MSCNFeatures{Tables: [][]float64{make([]float64, encoding.MaxVocabTables)}}
+	feats.Tables[0][3] = 1
+	want := m.Predict(feats)
+
+	var loaded *MSCN
+	saveLoadFile(t,
+		func(f *os.File) error { return m.Save(f) },
+		func(f *os.File) error { var err error; loaded, err = LoadMSCN(f); return err })
+	if got := loaded.Predict(feats); got != want {
+		t.Fatalf("loaded MSCN predicts %v, want %v", got, want)
+	}
+}
+
+func TestE2ESaveLoadFile(t *testing.T) {
+	cfg := DefaultE2EConfig()
+	cfg.Hidden = 8
+	m := NewE2E(cfg)
+	root := &encoding.E2ENode{Feat: make([]float64, encoding.E2ENodeDim)}
+	root.Feat[0] = 1
+	want := m.Predict(root)
+
+	var loaded *E2E
+	saveLoadFile(t,
+		func(f *os.File) error { return m.Save(f) },
+		func(f *os.File) error { var err error; loaded, err = LoadE2E(f); return err })
+	if got := loaded.Predict(root); got != want {
+		t.Fatalf("loaded E2E predicts %v, want %v", got, want)
+	}
+}
+
+func TestScaledCostSaveLoadFile(t *testing.T) {
+	var m ScaledCost
+	if err := m.Fit([]float64{10, 100, 1000}, []float64{0.1, 0.9, 8}); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(500)
+
+	var loaded *ScaledCost
+	saveLoadFile(t,
+		func(f *os.File) error { return m.Save(f) },
+		func(f *os.File) error { var err error; loaded, err = LoadScaledCost(f); return err })
+	if got := loaded.Predict(500); got != want {
+		t.Fatalf("loaded ScaledCost predicts %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,58 @@
+package costmodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"context"
+)
+
+// predictBatch fans predict over a worker pool sized by GOMAXPROCS and
+// returns the results aligned with ins. It is the shared PredictBatch
+// implementation of every adapter: per-sample tapes make the underlying
+// forward passes independent, so the fan-out is embarrassingly parallel.
+// The first error (by input index) aborts the batch; context cancellation
+// stops workers between items.
+func predictBatch(ctx context.Context, ins []PlanInput, predict func(PlanInput) (float64, error)) ([]float64, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]float64, len(ins))
+	errs := make([]error, len(ins))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ins) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				out[i], errs[i] = predict(ins[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package costmodel defines the one estimator contract every runtime
+// predictor of this repository is served through — the paper's "one model
+// to rule them all" claim, turned into an API.
+//
+// Before this package, the zero-shot model and the three workload-driven
+// baselines each invented their own sample type, train/predict signatures
+// and save/load story, and every experiment hand-wired all four. Now a
+// single interface covers them:
+//
+//   - Estimator: Fit on []Sample, Predict one PlanInput, PredictBatch many
+//     (worker-pool fan-out sized by GOMAXPROCS — the serving hot path),
+//     Save to an io.Writer.
+//   - A registry keyed by model name makes saved models self-describing:
+//     Load reads the header and reconstructs the right estimator without
+//     the caller re-supplying a Config.
+//   - Adapters own their featurization (transferable graph, MSCN sets,
+//     E2E tree, optimizer cost), so callers deal only in PlanInput —
+//     an executed-or-planned query with its database context.
+//
+// Inference is goroutine-safe on every adapter: after Fit (or Load),
+// Predict and PredictBatch may be called from any number of goroutines
+// concurrently. Fit and FineTune mutate the estimator and must not run
+// concurrently with inference.
+package costmodel
+
+import (
+	"context"
+	"io"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// PlanInput is one featurizable prediction request: a query against a
+// database, with its physical plan and the optimizer's cost estimate.
+// Which parts an estimator reads is its own business — the zero-shot model
+// encodes Plan against DB's schema, MSCN featurizes Query, E2E featurizes
+// Plan with DB's one-hot vocabulary, and ScaledCost reads OptimizerCost.
+type PlanInput struct {
+	// DB is the database the query runs on; adapters derive (and cache)
+	// schema statistics and vocabularies from it.
+	DB *storage.Database
+	// Query is the logical query (required by MSCN).
+	Query *query.Query
+	// Plan is the physical plan. Estimators trained with exact
+	// cardinalities need an executed plan (TrueRows filled); estimators
+	// trained with estimated cardinalities work on optimizer output alone.
+	Plan *plan.Node
+	// OptimizerCost is the analytical total cost estimate (required by
+	// ScaledCost).
+	OptimizerCost float64
+}
+
+// Sample is one training example: a PlanInput and its measured runtime.
+type Sample struct {
+	PlanInput
+	RuntimeSec float64
+}
+
+// FromRecord converts one collected execution record into a Sample.
+func FromRecord(db *storage.Database, r collect.Record) Sample {
+	return Sample{
+		PlanInput: PlanInput{
+			DB:            db,
+			Query:         r.Query,
+			Plan:          r.Plan,
+			OptimizerCost: r.OptimizerCost,
+		},
+		RuntimeSec: r.RuntimeSec,
+	}
+}
+
+// FromRecords converts a collected record slice into Samples.
+func FromRecords(db *storage.Database, recs []collect.Record) []Sample {
+	out := make([]Sample, len(recs))
+	for i, r := range recs {
+		out[i] = FromRecord(db, r)
+	}
+	return out
+}
+
+// Inputs strips the runtime targets off a sample slice.
+func Inputs(samples []Sample) []PlanInput {
+	out := make([]PlanInput, len(samples))
+	for i, s := range samples {
+		out[i] = s.PlanInput
+	}
+	return out
+}
+
+// FitReport summarizes a completed Fit.
+type FitReport struct {
+	// Samples is the number of training examples consumed.
+	Samples int
+	// EpochLoss is the per-epoch mean training loss for iterative
+	// estimators (nil for closed-form fits such as ScaledCost).
+	EpochLoss []float64
+}
+
+// Estimator is the one contract every runtime predictor implements.
+type Estimator interface {
+	// Name returns the registry name the estimator was registered under.
+	Name() string
+	// Fit trains the estimator on the samples. Fit must not run
+	// concurrently with inference.
+	Fit(ctx context.Context, samples []Sample) (*FitReport, error)
+	// Predict returns the predicted runtime in seconds for one input.
+	// Safe for concurrent use after Fit or Load.
+	Predict(ctx context.Context, in PlanInput) (float64, error)
+	// PredictBatch predicts many inputs, fanning out over a worker pool
+	// sized by GOMAXPROCS. Results align with the input slice. Safe for
+	// concurrent use after Fit or Load.
+	PredictBatch(ctx context.Context, ins []PlanInput) ([]float64, error)
+	// Save writes the estimator's payload to w. Use the package-level
+	// Save to produce a self-describing file that Load can reconstruct.
+	Save(w io.Writer) error
+}
+
+// FineTuner is the optional capability of estimators that can continue
+// training on samples from a new database — the paper's few-shot mode.
+type FineTuner interface {
+	FineTune(ctx context.Context, samples []Sample, epochs int, lr float64) (*FitReport, error)
+}
+
+// Options sizes a fresh estimator from the registry. Each adapter reads
+// the fields it understands and ignores the rest; zero values select the
+// adapter's defaults.
+type Options struct {
+	// Hidden, Epochs, BatchSize, LR and Seed are the shared neural
+	// hyperparameters (zeroshot, mscn, e2e).
+	Hidden    int
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// HuberDelta is the robust-loss threshold (zeroshot).
+	HuberDelta float64
+	// Card selects the cardinality annotation of the transferable graph
+	// encoding (zeroshot).
+	Card encoding.CardSource
+	// FlatSum disables message passing — ablation A2 (zeroshot).
+	FlatSum bool
+}
+
+// overrideNeural applies the shared neural hyperparameters onto an
+// adapter's default config fields; zero values keep the defaults.
+func (o Options) overrideNeural(hidden, epochs, batchSize *int, lr *float64, seed *int64) {
+	if o.Hidden > 0 {
+		*hidden = o.Hidden
+	}
+	if o.Epochs > 0 {
+		*epochs = o.Epochs
+	}
+	if o.BatchSize > 0 {
+		*batchSize = o.BatchSize
+	}
+	if o.LR > 0 {
+		*lr = o.LR
+	}
+	if o.Seed != 0 {
+		*seed = o.Seed
+	}
+}

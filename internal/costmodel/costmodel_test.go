@@ -1,0 +1,232 @@
+package costmodel
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// fixture is the shared tiny training/eval corpus for the adapter tests:
+// one small database with collected executions split into train and eval.
+type fixture struct {
+	db    *storage.Database
+	train []Sample
+	eval  []Sample
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+func sharedFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := datagen.DefaultConfig()
+		cfg.MaxRows = 6000
+		db, err := datagen.Generate("cmtest", 11, cfg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		recs, err := collect.Run(db, collect.Options{Queries: 120, Seed: 3})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		samples := FromRecords(db, recs)
+		fix = fixture{db: db, train: samples[:90], eval: samples[90:]}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// smallOpts keeps neural adapters in test-time budgets.
+func smallOpts() Options {
+	return Options{Hidden: 16, Epochs: 4, Seed: 1, Card: encoding.CardExact}
+}
+
+func TestNamesListsAllBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{NameE2E, NameMSCN, NameScaledCost, NameZeroShot}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNewUnknownEstimator(t *testing.T) {
+	if _, err := New("no-such-model", Options{}); err == nil {
+		t.Fatal("New accepted an unknown name")
+	}
+}
+
+// TestAllEstimatorsFitPredictRoundTrip drives the whole contract for every
+// registered estimator: construct by name, Fit, Predict, PredictBatch
+// (equal to serial predictions), then Save/Load through the registry and
+// check the reconstructed estimator predicts identically.
+func TestAllEstimatorsFitPredictRoundTrip(t *testing.T) {
+	f := sharedFixture(t)
+	ctx := context.Background()
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			est, err := New(name, smallOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Name() != name {
+				t.Fatalf("Name() = %q, want %q", est.Name(), name)
+			}
+			report, err := est.Fit(ctx, f.train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Samples != len(f.train) {
+				t.Fatalf("report.Samples = %d, want %d", report.Samples, len(f.train))
+			}
+			ins := Inputs(f.eval)
+			batch, err := est.PredictBatch(ctx, ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(ins) {
+				t.Fatalf("batch returned %d predictions for %d inputs", len(batch), len(ins))
+			}
+			for i, in := range ins {
+				p, err := est.Predict(ctx, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Fatalf("prediction %d not a positive runtime: %v", i, p)
+				}
+				if p != batch[i] {
+					t.Fatalf("batch[%d] = %v differs from serial predict %v", i, batch[i], p)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := Save(&buf, est); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Name() != name {
+				t.Fatalf("loaded Name() = %q, want %q", loaded.Name(), name)
+			}
+			reBatch, err := loaded.PredictBatch(ctx, ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range batch {
+				if math.Abs(reBatch[i]-batch[i]) > 1e-12 {
+					t.Fatalf("loaded model diverges at %d: %v vs %v", i, reBatch[i], batch[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	var buf bytes.Buffer
+	buf.WriteString("\x00\x00\x00")
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("Load accepted truncated input")
+	}
+}
+
+func TestPredictValidatesInputs(t *testing.T) {
+	f := sharedFixture(t)
+	ctx := context.Background()
+	zs, err := New(NameZeroShot, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zs.Predict(ctx, PlanInput{}); err == nil {
+		t.Fatal("zeroshot accepted an empty input")
+	}
+	mscn, err := New(NameMSCN, Options{Hidden: 8, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mscn.Predict(ctx, PlanInput{DB: f.db}); err == nil {
+		t.Fatal("mscn accepted an input without a query")
+	}
+	sc, err := New(NameScaledCost, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Fit(ctx, []Sample{{PlanInput: PlanInput{OptimizerCost: 0}, RuntimeSec: 1}}); err == nil {
+		t.Fatal("scaledcost accepted a zero-cost sample")
+	}
+}
+
+func TestPredictBatchEmptyAndCancelled(t *testing.T) {
+	f := sharedFixture(t)
+	sc, err := New(NameScaledCost, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Fit(context.Background(), f.train); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.PredictBatch(context.Background(), nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", out, err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.PredictBatch(cancelled, Inputs(f.eval)); err == nil {
+		t.Fatal("PredictBatch ignored a cancelled context")
+	}
+}
+
+// TestFineTuneCapability checks the optional FineTuner interface: only the
+// zero-shot adapter supports the paper's few-shot mode, and fine-tuning on
+// a new database's samples runs through the same Sample type.
+func TestFineTuneCapability(t *testing.T) {
+	f := sharedFixture(t)
+	ctx := context.Background()
+	zs, err := New(NameZeroShot, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := zs.(FineTuner)
+	if !ok {
+		t.Fatal("zeroshot does not implement FineTuner")
+	}
+	if _, err := zs.Fit(ctx, f.train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.FineTune(ctx, f.eval, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameMSCN, NameE2E, NameScaledCost} {
+		est, err := New(name, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := est.(FineTuner); ok {
+			t.Fatalf("%s unexpectedly implements FineTuner", name)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package costmodel
+
+import (
+	"sync"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// featEntry lazily materializes the per-database featurization context the
+// one-hot baselines need: the database's vocabulary and its statistics.
+type featEntry struct {
+	once  sync.Once
+	vocab *encoding.Vocab
+	st    *stats.DBStats
+}
+
+// featCache caches featurization contexts per database so that concurrent
+// PredictBatch calls collect statistics at most once per database. Keys
+// are database pointers: the experiment harness and the serving layer both
+// hold databases for the lifetime of the estimator.
+type featCache struct {
+	m sync.Map // *storage.Database -> *featEntry
+}
+
+// get returns the (possibly freshly built) context for db.
+func (c *featCache) get(db *storage.Database) (*encoding.Vocab, *stats.DBStats) {
+	e, _ := c.m.LoadOrStore(db, &featEntry{})
+	en := e.(*featEntry)
+	en.once.Do(func() {
+		en.vocab = encoding.NewVocab(db.Schema)
+		en.st = stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	})
+	return en.vocab, en.st
+}

@@ -1,0 +1,158 @@
+package costmodel
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+)
+
+func init() {
+	Register(NameZeroShot, Factory{
+		New: func(opts Options) (Estimator, error) {
+			cfg := zeroshot.DefaultConfig()
+			opts.overrideNeural(&cfg.Hidden, &cfg.Epochs, &cfg.BatchSize, &cfg.LR, &cfg.Seed)
+			if opts.HuberDelta > 0 {
+				cfg.HuberDelta = opts.HuberDelta
+			}
+			cfg.FlatSum = opts.FlatSum
+			return &ZeroShot{model: zeroshot.New(cfg), card: opts.Card}, nil
+		},
+		Load: loadZeroShot,
+	})
+}
+
+// ZeroShot adapts the paper's zero-shot graph model to the Estimator
+// contract. It owns the transferable plan encoding: inputs carry raw
+// executed plans, and the adapter encodes them against the input
+// database's schema with its configured cardinality source, caching one
+// encoder per schema.
+type ZeroShot struct {
+	model *zeroshot.Model
+	card  encoding.CardSource
+
+	encoders sync.Map // *schema.Schema -> *encoding.PlanEncoder
+}
+
+// Name implements Estimator.
+func (z *ZeroShot) Name() string { return NameZeroShot }
+
+// Card returns the cardinality source the adapter encodes plans with.
+func (z *ZeroShot) Card() encoding.CardSource { return z.card }
+
+// Model exposes the underlying graph model for callers that need
+// zeroshot-specific surface (e.g. the learned join-ordering example).
+func (z *ZeroShot) Model() *zeroshot.Model { return z.model }
+
+func (z *ZeroShot) encoderFor(sch *schema.Schema) *encoding.PlanEncoder {
+	if e, ok := z.encoders.Load(sch); ok {
+		return e.(*encoding.PlanEncoder)
+	}
+	e, _ := z.encoders.LoadOrStore(sch, encoding.NewPlanEncoder(sch, z.card))
+	return e.(*encoding.PlanEncoder)
+}
+
+func (z *ZeroShot) encode(in PlanInput) (*encoding.Graph, error) {
+	if in.DB == nil || in.Plan == nil {
+		return nil, fmt.Errorf("zeroshot estimator needs DB and Plan inputs")
+	}
+	return z.encoderFor(in.DB.Schema).Encode(in.Plan)
+}
+
+func (z *ZeroShot) samples(samples []Sample) ([]zeroshot.Sample, error) {
+	out := make([]zeroshot.Sample, len(samples))
+	for i, s := range samples {
+		g, err := z.encode(s.PlanInput)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		out[i] = zeroshot.Sample{Graph: g, RuntimeSec: s.RuntimeSec}
+	}
+	return out, nil
+}
+
+// Fit implements Estimator.
+func (z *ZeroShot) Fit(ctx context.Context, samples []Sample) (*FitReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	zs, err := z.samples(samples)
+	if err != nil {
+		return nil, err
+	}
+	res, err := z.model.Train(zs)
+	if err != nil {
+		return nil, err
+	}
+	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss}, nil
+}
+
+// FineTune implements FineTuner: continue training on samples from a new
+// database at a reduced learning rate (the paper's few-shot mode).
+func (z *ZeroShot) FineTune(ctx context.Context, samples []Sample, epochs int, lr float64) (*FitReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	zs, err := z.samples(samples)
+	if err != nil {
+		return nil, err
+	}
+	res, err := z.model.FineTune(zs, epochs, lr)
+	if err != nil {
+		return nil, err
+	}
+	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss}, nil
+}
+
+// Predict implements Estimator.
+func (z *ZeroShot) Predict(ctx context.Context, in PlanInput) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	g, err := z.encode(in)
+	if err != nil {
+		return 0, err
+	}
+	return z.model.Predict(g), nil
+}
+
+// PredictBatch implements Estimator.
+func (z *ZeroShot) PredictBatch(ctx context.Context, ins []PlanInput) ([]float64, error) {
+	return predictBatch(ctx, ins, func(in PlanInput) (float64, error) {
+		g, err := z.encode(in)
+		if err != nil {
+			return 0, err
+		}
+		return z.model.Predict(g), nil
+	})
+}
+
+// zeroShotHeader precedes the model weights in the save payload.
+type zeroShotHeader struct {
+	Card int
+}
+
+// Save implements Estimator.
+func (z *ZeroShot) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(zeroShotHeader{Card: int(z.card)}); err != nil {
+		return fmt.Errorf("encode zeroshot header: %w", err)
+	}
+	return z.model.Save(w)
+}
+
+func loadZeroShot(r io.Reader) (Estimator, error) {
+	var hdr zeroShotHeader
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("decode zeroshot header: %w", err)
+	}
+	m, err := zeroshot.Load(r, zeroshot.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &ZeroShot{model: m, card: encoding.CardSource(hdr.Card)}, nil
+}

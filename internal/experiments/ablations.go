@@ -1,14 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
-	"github.com/zeroshot-db/zeroshot/internal/stats"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
 // AblationResult holds median Q-errors on the held-out database (synthetic
@@ -30,81 +29,64 @@ type AblationResult struct {
 
 // Ablations runs A1-A3 on a prepared environment.
 func Ablations(env *Env) (*AblationResult, error) {
+	ctx := context.Background()
 	res := &AblationResult{}
 
-	evalSummary := func(m *zeroshot.Model, card encoding.CardSource) (metrics.Summary, error) {
-		preds, actuals, err := env.evalZeroShot(m, WorkloadSynthetic, card)
-		if err != nil {
-			return metrics.Summary{}, err
-		}
-		return metrics.Summarize(preds, actuals)
-	}
-
-	full, err := env.trainZeroShot(encoding.CardExact, false)
+	full, err := env.fitZeroShot(encoding.CardExact, false)
 	if err != nil {
 		return nil, err
 	}
-	if res.ZeroShot, err = evalSummary(full, encoding.CardExact); err != nil {
+	if res.ZeroShot, err = env.evalSummary(full, WorkloadSynthetic); err != nil {
 		return nil, err
 	}
 
-	// A2: flat sum (no message passing).
-	cfgFlat := env.Cfg.Model
-	cfgFlat.FlatSum = true
-	samples, err := env.zeroShotSamples(encoding.CardExact, false, 0)
+	// A2: flat sum (no message passing) — the same registry estimator with
+	// the FlatSum option flipped.
+	flatOpts, err := env.estimatorOptions(costmodel.NameZeroShot, encoding.CardExact)
 	if err != nil {
 		return nil, err
 	}
-	flat := zeroshot.New(cfgFlat)
-	if _, err := flat.Train(samples); err != nil {
+	flatOpts.FlatSum = true
+	flat, err := costmodel.New(costmodel.NameZeroShot, flatOpts)
+	if err != nil {
 		return nil, err
 	}
-	if res.FlatSum, err = evalSummary(flat, encoding.CardExact); err != nil {
+	if _, err := flat.Fit(ctx, env.trainingSamples(false, 0)); err != nil {
+		return nil, err
+	}
+	if res.FlatSum, err = env.evalSummary(flat, WorkloadSynthetic); err != nil {
 		return nil, err
 	}
 
 	// A3: estimated / no cardinalities (trained and evaluated consistently).
-	est, err := env.trainZeroShot(encoding.CardEstimated, false)
+	est, err := env.fitZeroShot(encoding.CardEstimated, false)
 	if err != nil {
 		return nil, err
 	}
-	if res.EstCard, err = evalSummary(est, encoding.CardEstimated); err != nil {
+	if res.EstCard, err = env.evalSummary(est, WorkloadSynthetic); err != nil {
 		return nil, err
 	}
-	none, err := env.trainZeroShot(encoding.CardNone, false)
+	none, err := env.fitZeroShot(encoding.CardNone, false)
 	if err != nil {
 		return nil, err
 	}
-	if res.NoCard, err = evalSummary(none, encoding.CardNone); err != nil {
+	if res.NoCard, err = env.evalSummary(none, WorkloadSynthetic); err != nil {
 		return nil, err
 	}
 
-	// A1: one-hot (E2E) model trained on the SAME multi-database corpus —
-	// every training database featurized with its own vocabulary, then
-	// mechanically applied to the held-out database with its vocabulary.
-	var e2eSamples []baselines.E2ESample
-	for i, db := range env.TrainDBs {
-		st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
-		f := encoding.NewE2EFeaturizer(encoding.NewVocab(db.Schema), st)
-		for _, r := range env.TrainRecords[i] {
-			e2eSamples = append(e2eSamples, baselines.E2ESample{
-				Root:       f.Featurize(r.Plan),
-				RuntimeSec: r.RuntimeSec,
-			})
-		}
-	}
-	oneHot := baselines.NewE2E(env.Cfg.E2E)
-	if err := oneHot.Train(e2eSamples); err != nil {
+	// A1: one-hot (E2E) model trained on the SAME multi-database corpus.
+	// The adapter featurizes every sample with its own database's
+	// vocabulary, then mechanically applies the held-out database's
+	// vocabulary at evaluation — exactly the cross-database failure mode
+	// the paper demonstrates.
+	oneHot, err := env.NewEstimator(costmodel.NameE2E, encoding.CardEstimated)
+	if err != nil {
 		return nil, err
 	}
-	stEval := stats.Collect(env.EvalDB, stats.DefaultBuckets, stats.DefaultMCVs)
-	fEval := encoding.NewE2EFeaturizer(encoding.NewVocab(env.EvalDB.Schema), stEval)
-	var preds, actuals []float64
-	for _, r := range env.EvalRecords[WorkloadSynthetic] {
-		preds = append(preds, oneHot.Predict(fEval.Featurize(r.Plan)))
-		actuals = append(actuals, r.RuntimeSec)
+	if _, err := oneHot.Fit(ctx, env.trainingSamples(false, 0)); err != nil {
+		return nil, err
 	}
-	if res.OneHot, err = metrics.Summarize(preds, actuals); err != nil {
+	if res.OneHot, err = env.evalSummary(oneHot, WorkloadSynthetic); err != nil {
 		return nil, err
 	}
 	return res, nil

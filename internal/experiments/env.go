@@ -18,14 +18,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/baselines"
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
 	"github.com/zeroshot-db/zeroshot/internal/query"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
@@ -241,63 +244,107 @@ func Prepare(cfg Config) (*Env, error) {
 	return env, nil
 }
 
-// zeroShotSamples encodes training records across all training databases
-// with the given cardinality source. withIndexes selects the index-workload
-// training records instead of the plain ones.
-func (env *Env) zeroShotSamples(card encoding.CardSource, withIndexes bool, maxDBs int) ([]zeroshot.Sample, error) {
+// trainingSamples gathers costmodel samples from the first maxDBs training
+// databases (0 = all). withIndexes selects the index-workload training
+// records instead of the plain ones. Featurization happens inside the
+// estimator adapters, so the same samples feed every registry estimator.
+func (env *Env) trainingSamples(withIndexes bool, maxDBs int) []costmodel.Sample {
 	if maxDBs <= 0 || maxDBs > len(env.TrainDBs) {
 		maxDBs = len(env.TrainDBs)
 	}
-	var out []zeroshot.Sample
+	var out []costmodel.Sample
 	for i := 0; i < maxDBs; i++ {
-		db := env.TrainDBs[i]
 		recs := env.TrainRecords[i]
 		if withIndexes {
 			recs = env.IndexTrainRecords[i]
 		}
-		enc := encoding.NewPlanEncoder(db.Schema, card)
-		for _, r := range recs {
-			g, err := enc.Encode(r.Plan)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec})
-		}
+		out = append(out, costmodel.FromRecords(env.TrainDBs[i], recs)...)
 	}
-	return out, nil
+	return out
 }
 
-// evalZeroShot predicts every record of a workload with the model and
-// returns (predictions, actuals).
-func (env *Env) evalZeroShot(m *zeroshot.Model, workload string, card encoding.CardSource) ([]float64, []float64, error) {
+// estimatorOptions maps the run config's hyperparameters onto registry
+// options for one estimator kind.
+func (env *Env) estimatorOptions(name string, card encoding.CardSource) (costmodel.Options, error) {
+	switch name {
+	case costmodel.NameZeroShot:
+		m := env.Cfg.Model
+		return costmodel.Options{
+			Hidden: m.Hidden, Epochs: m.Epochs, BatchSize: m.BatchSize,
+			LR: m.LR, Seed: m.Seed, HuberDelta: m.HuberDelta,
+			FlatSum: m.FlatSum, Card: card,
+		}, nil
+	case costmodel.NameMSCN:
+		c := env.Cfg.MSCN
+		return costmodel.Options{Hidden: c.Hidden, Epochs: c.Epochs, BatchSize: c.BatchSize, LR: c.LR, Seed: c.Seed}, nil
+	case costmodel.NameE2E:
+		c := env.Cfg.E2E
+		return costmodel.Options{Hidden: c.Hidden, Epochs: c.Epochs, BatchSize: c.BatchSize, LR: c.LR, Seed: c.Seed}, nil
+	case costmodel.NameScaledCost:
+		return costmodel.Options{}, nil
+	default:
+		return costmodel.Options{}, fmt.Errorf("experiments: no options mapping for estimator %q", name)
+	}
+}
+
+// NewEstimator builds a fresh registry estimator sized by the run config.
+func (env *Env) NewEstimator(name string, card encoding.CardSource) (costmodel.Estimator, error) {
+	opts, err := env.estimatorOptions(name, card)
+	if err != nil {
+		return nil, err
+	}
+	return costmodel.New(name, opts)
+}
+
+// fitZeroShot trains a fresh zero-shot estimator on the training corpus
+// with the given cardinality source.
+func (env *Env) fitZeroShot(card encoding.CardSource, withIndexes bool) (costmodel.Estimator, error) {
+	est, err := env.NewEstimator(costmodel.NameZeroShot, card)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := est.Fit(context.Background(), env.trainingSamples(withIndexes, 0)); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// evalInputs returns a workload's evaluation records as prediction inputs
+// plus the measured runtimes.
+func (env *Env) evalInputs(workload string) ([]costmodel.PlanInput, []float64, error) {
 	recs, ok := env.EvalRecords[workload]
 	if !ok {
 		return nil, nil, fmt.Errorf("experiments: no eval records for %q", workload)
 	}
-	enc := encoding.NewPlanEncoder(env.EvalDB.Schema, card)
-	preds := make([]float64, len(recs))
+	ins := make([]costmodel.PlanInput, len(recs))
 	actuals := make([]float64, len(recs))
 	for i, r := range recs {
-		g, err := enc.Encode(r.Plan)
-		if err != nil {
-			return nil, nil, err
-		}
-		preds[i] = m.Predict(g)
+		ins[i] = costmodel.FromRecord(env.EvalDB, r).PlanInput
 		actuals[i] = r.RuntimeSec
+	}
+	return ins, actuals, nil
+}
+
+// evalEstimator batch-predicts a workload with any estimator and returns
+// (predictions, actuals).
+func (env *Env) evalEstimator(est costmodel.Estimator, workload string) ([]float64, []float64, error) {
+	ins, actuals, err := env.evalInputs(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, err := est.PredictBatch(context.Background(), ins)
+	if err != nil {
+		return nil, nil, err
 	}
 	return preds, actuals, nil
 }
 
-// trainZeroShot trains a fresh zero-shot model on all training databases
-// with the given cardinality source.
-func (env *Env) trainZeroShot(card encoding.CardSource, withIndexes bool) (*zeroshot.Model, error) {
-	samples, err := env.zeroShotSamples(card, withIndexes, 0)
+// evalSummary evaluates an estimator on a workload and summarizes the
+// q-errors — the one eval path every experiment shares.
+func (env *Env) evalSummary(est costmodel.Estimator, workload string) (metrics.Summary, error) {
+	preds, actuals, err := env.evalEstimator(est, workload)
 	if err != nil {
-		return nil, err
+		return metrics.Summary{}, err
 	}
-	m := zeroshot.New(env.Cfg.Model)
-	if _, err := m.Train(samples); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return metrics.Summarize(preds, actuals)
 }

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"github.com/zeroshot-db/zeroshot/internal/baselines"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
@@ -79,6 +81,37 @@ func TestPrepareBuildsCompleteEnv(t *testing.T) {
 	}
 }
 
+// TestNewEstimatorCoversRegistry checks the experiments layer can size
+// every registered estimator from its config — the guarantee that lets
+// Figure3 and the ablations iterate over registry names instead of
+// hand-wiring model types.
+func TestNewEstimatorCoversRegistry(t *testing.T) {
+	env := &Env{Cfg: tinyConfig()}
+	for _, name := range costmodel.Names() {
+		est, err := env.NewEstimator(name, encoding.CardExact)
+		if err != nil {
+			t.Fatalf("NewEstimator(%q): %v", name, err)
+		}
+		if est.Name() != name {
+			t.Fatalf("NewEstimator(%q).Name() = %q", name, est.Name())
+		}
+	}
+	if _, err := env.NewEstimator("no-such-estimator", encoding.CardExact); err == nil {
+		t.Fatal("NewEstimator accepted an unknown name")
+	}
+	for _, name := range BaselineEstimators {
+		found := false
+		for _, reg := range costmodel.Names() {
+			if name == reg {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("BaselineEstimators names %q, not in registry %v", name, costmodel.Names())
+		}
+	}
+}
+
 func TestPrepareRejectsBadConfig(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.TrainDBs = 0
@@ -99,7 +132,11 @@ func TestFigure3ShapesHold(t *testing.T) {
 			t.Fatalf("%s: %d points, want %d", w, len(curve), len(env.Cfg.BaselineSizes))
 		}
 		for _, p := range curve {
-			for name, v := range map[string]float64{"mscn": p.MSCN, "e2e": p.E2E, "scaled": p.ScaledCost} {
+			if len(p.Median) != len(BaselineEstimators) {
+				t.Fatalf("%s point at n=%d has %d estimators, want %d",
+					w, p.TrainQueries, len(p.Median), len(BaselineEstimators))
+			}
+			for name, v := range p.Median {
 				if v < 1 {
 					t.Fatalf("%s %s q-error %v < 1", w, name, v)
 				}
@@ -113,21 +150,21 @@ func TestFigure3ShapesHold(t *testing.T) {
 		// the scaled optimizer cost at every training size...
 		zs := res.ZeroShotExact[w]
 		for _, p := range curve {
-			if zs > p.MSCN*1.1 {
+			if zs > p.Median[costmodel.NameMSCN]*1.1 {
 				t.Errorf("%s: zero-shot exact %.2f clearly worse than MSCN %.2f at n=%d",
-					w, zs, p.MSCN, p.TrainQueries)
+					w, zs, p.Median[costmodel.NameMSCN], p.TrainQueries)
 			}
-			if zs > p.ScaledCost*1.1 {
+			if zs > p.Median[costmodel.NameScaledCost]*1.1 {
 				t.Errorf("%s: zero-shot exact %.2f clearly worse than scaled cost %.2f at n=%d",
-					w, zs, p.ScaledCost, p.TrainQueries)
+					w, zs, p.Median[costmodel.NameScaledCost], p.TrainQueries)
 			}
 		}
 		// ...and strictly better than every workload-driven model at the
 		// smallest training budget (the regime the paper motivates).
 		small := curve[0]
-		if zs > small.MSCN || zs > small.E2E*1.05 {
+		if zs > small.Median[costmodel.NameMSCN] || zs > small.Median[costmodel.NameE2E]*1.05 {
 			t.Errorf("%s: zero-shot exact %.2f not ahead at n=%d (MSCN %.2f, E2E %.2f)",
-				w, zs, small.TrainQueries, small.MSCN, small.E2E)
+				w, zs, small.TrainQueries, small.Median[costmodel.NameMSCN], small.Median[costmodel.NameE2E])
 		}
 	}
 	// Collection time grows with training-set size.

@@ -1,26 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"github.com/zeroshot-db/zeroshot/internal/baselines"
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/hwsim"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
-	"github.com/zeroshot-db/zeroshot/internal/stats"
 )
 
-// Figure3Point is one (training-set size, model) measurement of one
-// workload panel.
+// BaselineEstimators lists the workload-driven registry estimators of the
+// paper's Figure 3 in presentation order. Adding a registered estimator
+// here is all it takes to sweep a new baseline through E1.
+var BaselineEstimators = []string{costmodel.NameMSCN, costmodel.NameE2E, costmodel.NameScaledCost}
+
+// Figure3Point is one (training-set size) measurement of one workload
+// panel: the median q-error of every swept estimator at that size.
 type Figure3Point struct {
 	TrainQueries int
-	// Median Q-error per model.
-	MSCN       float64
-	E2E        float64
-	ScaledCost float64
+	// Median maps estimator name to median q-error.
+	Median map[string]float64
 }
 
 // Figure3Result reproduces the paper's Figure 3: per workload, the
@@ -42,6 +45,7 @@ type Figure3Result struct {
 
 // Figure3 runs experiment E1+E2.
 func Figure3(env *Env) (*Figure3Result, error) {
+	ctx := context.Background()
 	cfg := env.Cfg
 	res := &Figure3Result{
 		Curves:          map[string][]Figure3Point{},
@@ -51,31 +55,21 @@ func Figure3(env *Env) (*Figure3Result, error) {
 	}
 
 	// Zero-shot models: trained once on other databases, never on EvalDB.
-	zsExact, err := env.trainZeroShot(encoding.CardExact, false)
+	zsExact, err := env.fitZeroShot(encoding.CardExact, false)
 	if err != nil {
 		return nil, err
 	}
-	zsEst, err := env.trainZeroShot(encoding.CardEstimated, false)
+	zsEst, err := env.fitZeroShot(encoding.CardEstimated, false)
 	if err != nil {
 		return nil, err
 	}
 	for _, w := range EvalWorkloads {
-		preds, actuals, err := env.evalZeroShot(zsExact, w, encoding.CardExact)
-		if err != nil {
-			return nil, err
-		}
-		s, err := metrics.Summarize(preds, actuals)
+		s, err := env.evalSummary(zsExact, w)
 		if err != nil {
 			return nil, err
 		}
 		res.ZeroShotExact[w] = s.Median
-
-		preds, actuals, err = env.evalZeroShot(zsEst, w, encoding.CardEstimated)
-		if err != nil {
-			return nil, err
-		}
-		s, err = metrics.Summarize(preds, actuals)
-		if err != nil {
+		if s, err = env.evalSummary(zsEst, w); err != nil {
 			return nil, err
 		}
 		res.ZeroShotEst[w] = s.Median
@@ -83,7 +77,7 @@ func Figure3(env *Env) (*Figure3Result, error) {
 
 	// Workload-driven baselines: per training size, collect that many
 	// training queries ON the evaluation database (the cost the paper
-	// charges them), train, evaluate per workload.
+	// charges them), then fit and evaluate every registry baseline.
 	maxSize := 0
 	for _, n := range cfg.BaselineSizes {
 		if n > maxSize {
@@ -97,71 +91,39 @@ func Figure3(env *Env) (*Figure3Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: baseline training pool: %w", err)
 	}
-	st := stats.Collect(env.EvalDB, stats.DefaultBuckets, stats.DefaultMCVs)
-	vocab := encoding.NewVocab(env.EvalDB.Schema)
-	mscnF := encoding.NewMSCNFeaturizer(vocab, st)
-	e2eF := encoding.NewE2EFeaturizer(vocab, st)
+	poolSamples := costmodel.FromRecords(env.EvalDB, trainPool)
 
 	sizes := append([]int(nil), cfg.BaselineSizes...)
 	sort.Ints(sizes)
 	for _, n := range sizes {
-		pool := trainPool[:n]
 		// Panel 4: hours of workload execution to collect n queries.
 		rts := make([]float64, n)
-		for i, r := range pool {
+		for i, r := range trainPool[:n] {
 			rts[i] = r.RuntimeSec
 		}
 		res.CollectionHours[n] = hwsim.CollectionHours(rts)
 
-		// MSCN.
-		mscnSamples := make([]baselines.MSCNSample, n)
-		for i, r := range pool {
-			mscnSamples[i] = baselines.MSCNSample{Feats: mscnF.Featurize(r.Query), RuntimeSec: r.RuntimeSec}
-		}
-		mscn := baselines.NewMSCN(cfg.MSCN)
-		if err := mscn.Train(mscnSamples); err != nil {
-			return nil, err
-		}
-		// E2E.
-		e2eSamples := make([]baselines.E2ESample, n)
-		for i, r := range pool {
-			e2eSamples[i] = baselines.E2ESample{Root: e2eF.Featurize(r.Plan), RuntimeSec: r.RuntimeSec}
-		}
-		e2e := baselines.NewE2E(cfg.E2E)
-		if err := e2e.Train(e2eSamples); err != nil {
-			return nil, err
-		}
-		// Scaled optimizer cost.
-		costs := make([]float64, n)
-		for i, r := range pool {
-			costs[i] = r.OptimizerCost
-		}
-		var sc baselines.ScaledCost
-		if err := sc.Fit(costs, rts); err != nil {
-			return nil, err
-		}
-
-		for _, w := range EvalWorkloads {
-			recs := env.EvalRecords[w]
-			var mP, eP, sP, actuals []float64
-			for _, r := range recs {
-				mP = append(mP, mscn.Predict(mscnF.Featurize(r.Query)))
-				eP = append(eP, e2e.Predict(e2eF.Featurize(r.Plan)))
-				sP = append(sP, sc.Predict(r.OptimizerCost))
-				actuals = append(actuals, r.RuntimeSec)
-			}
-			mS, err := metrics.Summarize(mP, actuals)
+		fitted := make(map[string]costmodel.Estimator, len(BaselineEstimators))
+		for _, name := range BaselineEstimators {
+			est, err := env.NewEstimator(name, encoding.CardEstimated)
 			if err != nil {
 				return nil, err
 			}
-			eS, _ := metrics.Summarize(eP, actuals)
-			sS, _ := metrics.Summarize(sP, actuals)
-			res.Curves[w] = append(res.Curves[w], Figure3Point{
-				TrainQueries: n,
-				MSCN:         mS.Median,
-				E2E:          eS.Median,
-				ScaledCost:   sS.Median,
-			})
+			if _, err := est.Fit(ctx, poolSamples[:n]); err != nil {
+				return nil, fmt.Errorf("experiments: fit %s at n=%d: %w", name, n, err)
+			}
+			fitted[name] = est
+		}
+		for _, w := range EvalWorkloads {
+			point := Figure3Point{TrainQueries: n, Median: map[string]float64{}}
+			for name, est := range fitted {
+				var s metrics.Summary
+				if s, err = env.evalSummary(est, w); err != nil {
+					return nil, err
+				}
+				point.Median[name] = s.Median
+			}
+			res.Curves[w] = append(res.Curves[w], point)
 		}
 	}
 	return res, nil
@@ -173,12 +135,20 @@ func (r *Figure3Result) Render() string {
 	var b strings.Builder
 	for _, w := range EvalWorkloads {
 		fmt.Fprintf(&b, "== %s: median q-error vs #training queries ==\n", w)
-		fmt.Fprintf(&b, "%12s %8s %8s %12s\n", "#queries", "MSCN", "E2E", "ScaledCost")
-		for _, p := range r.Curves[w] {
-			fmt.Fprintf(&b, "%12d %8.2f %8.2f %12.2f\n", p.TrainQueries, p.MSCN, p.E2E, p.ScaledCost)
+		fmt.Fprintf(&b, "%12s", "#queries")
+		for _, name := range BaselineEstimators {
+			fmt.Fprintf(&b, " %12s", name)
 		}
-		fmt.Fprintf(&b, "%12s %8.2f (exact card., trained on other DBs only)\n", "zero-shot", r.ZeroShotExact[w])
-		fmt.Fprintf(&b, "%12s %8.2f (est. card., trained on other DBs only)\n", "zero-shot", r.ZeroShotEst[w])
+		b.WriteString("\n")
+		for _, p := range r.Curves[w] {
+			fmt.Fprintf(&b, "%12d", p.TrainQueries)
+			for _, name := range BaselineEstimators {
+				fmt.Fprintf(&b, " %12.2f", p.Median[name])
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%12s %12.2f (exact card., trained on other DBs only)\n", "zero-shot", r.ZeroShotExact[w])
+		fmt.Fprintf(&b, "%12s %12.2f (est. card., trained on other DBs only)\n", "zero-shot", r.ZeroShotEst[w])
 	}
 	b.WriteString("== training-data collection time (panel 4) ==\n")
 	var sizes []int

@@ -1,16 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"github.com/zeroshot-db/zeroshot/internal/baselines"
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
-	"github.com/zeroshot-db/zeroshot/internal/metrics"
-	"github.com/zeroshot-db/zeroshot/internal/stats"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
 // SweepPoint is one measurement of the training-database-count sweep (E5).
@@ -31,6 +29,7 @@ type DBCountSweepResult struct {
 // corpus and evaluates each on the held-out database. counts defaults to
 // 1..len(TrainDBs) in doubling steps when nil.
 func DBCountSweep(env *Env, counts []int) (*DBCountSweepResult, error) {
+	ctx := context.Background()
 	if len(counts) == 0 {
 		for n := 1; n < len(env.TrainDBs); n *= 2 {
 			counts = append(counts, n)
@@ -43,19 +42,14 @@ func DBCountSweep(env *Env, counts []int) (*DBCountSweepResult, error) {
 		if n <= 0 || n > len(env.TrainDBs) {
 			return nil, fmt.Errorf("experiments: sweep count %d outside 1..%d", n, len(env.TrainDBs))
 		}
-		samples, err := env.zeroShotSamples(encoding.CardExact, false, n)
+		est, err := env.NewEstimator(costmodel.NameZeroShot, encoding.CardExact)
 		if err != nil {
 			return nil, err
 		}
-		m := zeroshot.New(env.Cfg.Model)
-		if _, err := m.Train(samples); err != nil {
+		if _, err := est.Fit(ctx, env.trainingSamples(false, n)); err != nil {
 			return nil, err
 		}
-		preds, actuals, err := env.evalZeroShot(m, WorkloadSynthetic, encoding.CardExact)
-		if err != nil {
-			return nil, err
-		}
-		s, err := metrics.Summarize(preds, actuals)
+		s, err := env.evalSummary(est, WorkloadSynthetic)
 		if err != nil {
 			return nil, err
 		}
@@ -95,6 +89,7 @@ type FewShotResult struct {
 
 // FewShot runs experiment E6 over the given target-query counts.
 func FewShot(env *Env, ks []int) (*FewShotResult, error) {
+	ctx := context.Background()
 	if len(ks) == 0 {
 		ks = []int{10, 50, 100}
 	}
@@ -109,28 +104,13 @@ func FewShot(env *Env, ks []int) (*FewShotResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc := encoding.NewPlanEncoder(env.EvalDB.Schema, encoding.CardExact)
-	poolSamples := make([]zeroshot.Sample, len(pool))
-	for i, r := range pool {
-		g, err := enc.Encode(r.Plan)
-		if err != nil {
-			return nil, err
-		}
-		poolSamples[i] = zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec}
-	}
-	st := stats.Collect(env.EvalDB, stats.DefaultBuckets, stats.DefaultMCVs)
-	vocab := encoding.NewVocab(env.EvalDB.Schema)
-	e2eF := encoding.NewE2EFeaturizer(vocab, st)
+	poolSamples := costmodel.FromRecords(env.EvalDB, pool)
 
-	base, err := env.trainZeroShot(encoding.CardExact, false)
+	base, err := env.fitZeroShot(encoding.CardExact, false)
 	if err != nil {
 		return nil, err
 	}
-	preds, actuals, err := env.evalZeroShot(base, WorkloadSynthetic, encoding.CardExact)
-	if err != nil {
-		return nil, err
-	}
-	baseSum, err := metrics.Summarize(preds, actuals)
+	baseSum, err := env.evalSummary(base, WorkloadSynthetic)
 	if err != nil {
 		return nil, err
 	}
@@ -142,37 +122,31 @@ func FewShot(env *Env, ks []int) (*FewShotResult, error) {
 		}
 		// Few-shot: retrain a fresh copy from the multi-DB corpus, then
 		// fine-tune (training mutates the model, so rebuild).
-		fs, err := env.trainZeroShot(encoding.CardExact, false)
+		fs, err := env.fitZeroShot(encoding.CardExact, false)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := fs.FineTune(poolSamples[:k], 10, 0); err != nil {
+		tuner, ok := fs.(costmodel.FineTuner)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s estimator does not support fine-tuning", fs.Name())
+		}
+		if _, err := tuner.FineTune(ctx, poolSamples[:k], 10, 0); err != nil {
 			return nil, err
 		}
-		preds, actuals, err := env.evalZeroShot(fs, WorkloadSynthetic, encoding.CardExact)
-		if err != nil {
-			return nil, err
-		}
-		fsSum, err := metrics.Summarize(preds, actuals)
+		fsSum, err := env.evalSummary(fs, WorkloadSynthetic)
 		if err != nil {
 			return nil, err
 		}
 
 		// From scratch: E2E on the same k queries.
-		e2eSamples := make([]baselines.E2ESample, k)
-		for i := 0; i < k; i++ {
-			e2eSamples[i] = baselines.E2ESample{Root: e2eF.Featurize(pool[i].Plan), RuntimeSec: pool[i].RuntimeSec}
-		}
-		e2e := baselines.NewE2E(env.Cfg.E2E)
-		if err := e2e.Train(e2eSamples); err != nil {
+		scratch, err := env.NewEstimator(costmodel.NameE2E, encoding.CardEstimated)
+		if err != nil {
 			return nil, err
 		}
-		var sPreds, sActs []float64
-		for _, r := range env.EvalRecords[WorkloadSynthetic] {
-			sPreds = append(sPreds, e2e.Predict(e2eF.Featurize(r.Plan)))
-			sActs = append(sActs, r.RuntimeSec)
+		if _, err := scratch.Fit(ctx, poolSamples[:k]); err != nil {
+			return nil, err
 		}
-		sSum, err := metrics.Summarize(sPreds, sActs)
+		sSum, err := env.evalSummary(scratch, WorkloadSynthetic)
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
 // Table1Row is one workload row of the paper's Table 1.
@@ -26,11 +27,11 @@ type Table1Result struct {
 // row uses a model additionally trained on index workloads of the training
 // databases, mirroring Section 4.1.
 func Table1(env *Env) (*Table1Result, error) {
-	zsExact, err := env.trainZeroShot(encoding.CardExact, false)
+	zsExact, err := env.fitZeroShot(encoding.CardExact, false)
 	if err != nil {
 		return nil, err
 	}
-	zsEst, err := env.trainZeroShot(encoding.CardEstimated, false)
+	zsEst, err := env.fitZeroShot(encoding.CardEstimated, false)
 	if err != nil {
 		return nil, err
 	}
@@ -38,18 +39,10 @@ func Table1(env *Env) (*Table1Result, error) {
 	res := &Table1Result{}
 	for _, w := range EvalWorkloads {
 		row := Table1Row{Workload: w}
-		preds, actuals, err := env.evalZeroShot(zsExact, w, encoding.CardExact)
-		if err != nil {
+		if row.Exact, err = env.evalSummary(zsExact, w); err != nil {
 			return nil, err
 		}
-		if row.Exact, err = metrics.Summarize(preds, actuals); err != nil {
-			return nil, err
-		}
-		preds, actuals, err = env.evalZeroShot(zsEst, w, encoding.CardEstimated)
-		if err != nil {
-			return nil, err
-		}
-		if row.Est, err = metrics.Summarize(preds, actuals); err != nil {
+		if row.Est, err = env.evalSummary(zsEst, w); err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
@@ -66,40 +59,28 @@ func Table1(env *Env) (*Table1Result, error) {
 		return nil, err
 	}
 	row := Table1Row{Workload: WorkloadIndex}
-	preds, actuals, err := env.evalZeroShot(wiExact, WorkloadIndex, encoding.CardExact)
-	if err != nil {
+	if row.Exact, err = env.evalSummary(wiExact, WorkloadIndex); err != nil {
 		return nil, err
 	}
-	if row.Exact, err = metrics.Summarize(preds, actuals); err != nil {
-		return nil, err
-	}
-	preds, actuals, err = env.evalZeroShot(wiEst, WorkloadIndex, encoding.CardEstimated)
-	if err != nil {
-		return nil, err
-	}
-	if row.Est, err = metrics.Summarize(preds, actuals); err != nil {
+	if row.Est, err = env.evalSummary(wiEst, WorkloadIndex); err != nil {
 		return nil, err
 	}
 	res.Rows = append(res.Rows, row)
 	return res, nil
 }
 
-// trainWhatIf trains a zero-shot model on the union of plain and
+// trainWhatIf trains a zero-shot estimator on the union of plain and
 // index-workload training records.
-func trainWhatIf(env *Env, card encoding.CardSource) (*zeroshot.Model, error) {
-	plain, err := env.zeroShotSamples(card, false, 0)
+func trainWhatIf(env *Env, card encoding.CardSource) (costmodel.Estimator, error) {
+	est, err := env.NewEstimator(costmodel.NameZeroShot, card)
 	if err != nil {
 		return nil, err
 	}
-	indexed, err := env.zeroShotSamples(card, true, 0)
-	if err != nil {
+	samples := append(env.trainingSamples(false, 0), env.trainingSamples(true, 0)...)
+	if _, err := est.Fit(context.Background(), samples); err != nil {
 		return nil, err
 	}
-	m := zeroshot.New(env.Cfg.Model)
-	if _, err := m.Train(append(plain, indexed...)); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return est, nil
 }
 
 // Render prints the result in the layout of the paper's Table 1.

@@ -18,6 +18,7 @@
 package zeroshot
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -244,6 +245,12 @@ func (m *Model) Save(w io.Writer) error {
 // Load reads a model saved by Save. Training hyperparameters of cfg are
 // kept; architecture fields must match the saved model.
 func Load(r io.Reader, cfg Config) (*Model, error) {
+	// The header and the parameters are read by separate gob decoders; a
+	// reader without ReadByte would be re-wrapped by gob and over-read, so
+	// share one ByteReader across both.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var hdr savedModel
 	if err := decodeGob(r, &hdr); err != nil {
 		return nil, err
