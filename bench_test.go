@@ -7,6 +7,7 @@ package zeroshotdb_test
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -16,6 +17,11 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/experiments"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
 
@@ -315,4 +321,129 @@ func BenchmarkPredictBatch_Parallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// --- serving pipeline: coalesced singles vs per-request prediction ---
+
+var (
+	ssOnce sync.Once
+	ssEst  costmodel.Estimator
+	ssDB   *storage.Database
+	ssSQLs []string
+	ssErr  error
+)
+
+// serveSinglesSetup trains one estimated-cardinality zero-shot estimator
+// (serve-time plans are never executed) and prepares a pool of SQL texts
+// — the shape of independent /v1/predict clients hitting `zsdb serve`.
+func serveSinglesSetup(b *testing.B) (costmodel.Estimator, *storage.Database, []string) {
+	b.Helper()
+	ssOnce.Do(func() {
+		db, err := datagen.IMDBLike(0.08)
+		if err != nil {
+			ssErr = err
+			return
+		}
+		recs, err := collect.Run(db, collect.Options{Queries: 96, Seed: 17})
+		if err != nil {
+			ssErr = err
+			return
+		}
+		samples := costmodel.FromRecords(db, recs)
+		est, err := costmodel.New(costmodel.NameZeroShot,
+			costmodel.Options{Hidden: 24, Epochs: 4, Card: encoding.CardEstimated})
+		if err != nil {
+			ssErr = err
+			return
+		}
+		if _, err := est.Fit(context.Background(), samples); err != nil {
+			ssErr = err
+			return
+		}
+		ssEst = est
+		ssDB = db
+		for _, r := range recs[:32] {
+			ssSQLs = append(ssSQLs, r.Query.SQL())
+		}
+	})
+	if ssErr != nil {
+		b.Fatal(ssErr)
+	}
+	return ssEst, ssDB, ssSQLs
+}
+
+// serveSinglesClients is the minimum concurrent-client count both
+// serving benchmarks run at (the acceptance bar is coalesced >
+// per-request at >= 8 clients).
+const serveSinglesClients = 8
+
+// runServeSingles drives concurrent clients round-robining over the SQL
+// pool, each predicting one statement per iteration. SetParallelism
+// rounds up to a GOMAXPROCS multiple, so the client count is exactly
+// serveSinglesClients when GOMAXPROCS divides it and slightly above
+// otherwise — never below.
+func runServeSingles(b *testing.B, sqls []string, predict func(sql string) error) {
+	b.SetParallelism((serveSinglesClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := predict(sqls[i%len(sqls)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkServeSingles_PerRequest is the pre-serving path: every
+// request pays the full parse→optimize→featurize pipeline and predicts
+// alone — what the old one-database server did per /v1/predict.
+func BenchmarkServeSingles_PerRequest(b *testing.B) {
+	est, db, sqls := serveSinglesSetup(b)
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	opt := optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams())
+	ctx := context.Background()
+	runServeSingles(b, sqls, func(sql string) error {
+		q, err := sqlparse.Parse(sql, db.Schema)
+		if err != nil {
+			return err
+		}
+		p, err := opt.Plan(q)
+		if err != nil {
+			return err
+		}
+		_, err = est.Predict(ctx, costmodel.PlanInput{
+			DB: db, Query: q, Plan: p, OptimizerCost: optimizer.TotalCost(p),
+		})
+		return err
+	})
+}
+
+// BenchmarkServeSingles_Coalesced is the serving pipeline: the session's
+// plan cache absorbs repeated query shapes and the scheduler coalesces
+// the concurrent singles into micro-batches draining through
+// PredictBatch. The preds/s ratio over PerRequest is the win of the
+// serving layer for p50 single-request traffic.
+func BenchmarkServeSingles_Coalesced(b *testing.B) {
+	est, db, sqls := serveSinglesSetup(b)
+	sess := serving.NewSession(serving.Config{})
+	defer sess.Close()
+	if err := sess.AttachDatabase("imdb", db); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.AttachModel(est); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	runServeSingles(b, sqls, func(sql string) error {
+		_, err := sess.Predict(ctx, "imdb", "", sql)
+		return err
+	})
+	st := sess.Stats()
+	if st.Scheduler.Batches > 0 {
+		b.ReportMetric(st.Scheduler.MeanBatchSize, "batch-size")
+	}
 }

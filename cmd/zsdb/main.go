@@ -22,12 +22,24 @@
 // reconstruct the right estimator from the file header via the costmodel
 // registry — no architecture flags needed.
 //
-// zsdb serve exposes a JSON API over a simulated database:
+// zsdb serve hosts a serving.Session — a set of simulated databases
+// behind one SQL→cost pipeline (parse → optimize → featurize → predict)
+// with per-database plan caches and a scheduler that coalesces concurrent
+// single predictions into adaptive micro-batches — over a JSON API:
 //
-//	GET  /healthz           liveness + loaded model count
-//	GET  /v1/models         loaded models and the serving database
-//	POST /v1/predict        {"model":"zeroshot","sql":"SELECT ..."}
-//	POST /v1/predict_batch  {"model":"zeroshot","sql":["...", "..."]}
+//	GET  /healthz           liveness + model/database counts
+//	GET  /v1/models         loaded models and attached databases
+//	GET  /v1/databases      per-database schema + plan cache stats
+//	GET  /v1/stats          stage latencies, hit rates, batching behavior
+//	POST /v1/predict        {"db":"imdb","model":"zeroshot","sql":"SELECT ..."}
+//	POST /v1/predict_batch  {"db":"imdb","model":"zeroshot","sql":["...", ...]}
+//
+// "db" and "model" may be omitted when exactly one is attached. Batch
+// replies carry structured per-item errors: one malformed statement does
+// not fail its batch. -databases imdb,ssb,tpch attaches several serving
+// databases; -batch-max/-batch-wait tune the micro-batcher. SIGINT or
+// SIGTERM drains in-flight requests and queued micro-batches before
+// exiting.
 //
 // Models destined for serving should be trained with estimated
 // cardinalities (the train default): at serving time queries are planned

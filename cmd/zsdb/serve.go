@@ -1,49 +1,44 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
-	"github.com/zeroshot-db/zeroshot/internal/optimizer"
-	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
-	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 )
 
-// server is the HTTP prediction service: it plans incoming SQL against one
-// database and serves runtime predictions from loaded cost models. All
-// state is read-only after construction, so handlers run concurrently
-// without locking; batched predictions fan out through the estimators'
-// worker pools.
+// server is the HTTP shim over a serving.Session: handlers decode JSON,
+// call the session, and map its error kinds onto status codes. All
+// serving logic — multi-database pipelines, plan caching, micro-batch
+// coalescing, metrics — lives in internal/serving.
 type server struct {
-	db     *storage.Database
-	opt    *optimizer.Optimizer
-	models map[string]costmodel.Estimator
+	sess *serving.Session
 }
 
-// newServer builds a server planning against db and serving the models.
-func newServer(db *storage.Database, models map[string]costmodel.Estimator) *server {
-	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
-	return &server{
-		db:     db,
-		opt:    optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams()),
-		models: models,
-	}
-}
+func newServer(sess *serving.Session) *server { return &server{sess: sess} }
 
 // mux wires the JSON API.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/databases", s.handleDatabases)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
 	return mux
@@ -56,6 +51,23 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// sessionError maps a serving error kind onto its status code.
+func sessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serving.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, serving.ErrBadQuery):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, serving.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client gave up, not the server — keep it off the 5xx rate.
+		httpError(w, http.StatusRequestTimeout, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
@@ -66,7 +78,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, map[string]any{"status": "ok", "models": len(s.models)})
+	models, databases := s.sess.Counts()
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"models":    models,
+		"databases": databases,
+	})
 }
 
 // modelInfo describes one loaded model in /v1/models.
@@ -79,75 +96,50 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	names := make([]modelInfo, 0, len(s.models))
-	for name := range s.models {
-		names = append(names, modelInfo{Name: name})
+	models := make([]modelInfo, 0, 4)
+	for _, name := range s.sess.Models() {
+		models = append(models, modelInfo{Name: name})
 	}
-	writeJSON(w, map[string]any{
-		"models":   names,
-		"database": s.db.Schema.Name,
-		"tables":   len(s.db.Schema.Tables),
-	})
+	dbs := s.sess.Databases()
+	names := make([]string, len(dbs))
+	for i, d := range dbs {
+		names[i] = d.Name
+	}
+	writeJSON(w, map[string]any{"models": models, "databases": names})
 }
 
-// estimator resolves a request's model name; an empty name selects the
-// only loaded model when unambiguous.
-func (s *server) estimator(name string) (costmodel.Estimator, error) {
-	if name == "" {
-		if len(s.models) == 1 {
-			for _, est := range s.models {
-				return est, nil
-			}
-		}
-		return nil, fmt.Errorf("request must name a model (loaded: %s)", strings.Join(s.modelNames(), ", "))
+func (s *server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
 	}
-	est, ok := s.models[name]
-	if !ok {
-		return nil, fmt.Errorf("model %q not loaded (loaded: %s)", name, strings.Join(s.modelNames(), ", "))
-	}
-	return est, nil
+	writeJSON(w, map[string]any{"databases": s.sess.Databases()})
 }
 
-func (s *server) modelNames() []string {
-	out := make([]string, 0, len(s.models))
-	for name := range s.models {
-		out = append(out, name)
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
 	}
-	return out
+	writeJSON(w, s.sess.Stats())
 }
 
-// planInput parses and plans one SQL text into a prediction input. The
-// plan is NOT executed: predictions see exactly what a database would know
-// before running the query.
-func (s *server) planInput(sql string) (costmodel.PlanInput, error) {
-	q, err := sqlparse.Parse(sql, s.db.Schema)
-	if err != nil {
-		return costmodel.PlanInput{}, fmt.Errorf("parse: %w", err)
-	}
-	p, err := s.opt.Plan(q)
-	if err != nil {
-		return costmodel.PlanInput{}, fmt.Errorf("plan: %w", err)
-	}
-	return costmodel.PlanInput{
-		DB:            s.db,
-		Query:         q,
-		Plan:          p,
-		OptimizerCost: optimizer.TotalCost(p),
-	}, nil
-}
-
-// predictRequest is the /v1/predict body.
+// predictRequest is the /v1/predict body. DB and Model may be omitted
+// when the server hosts exactly one database / model.
 type predictRequest struct {
+	DB    string `json:"db"`
 	Model string `json:"model"`
 	SQL   string `json:"sql"`
 }
 
 // predictResponse is the /v1/predict reply.
 type predictResponse struct {
+	DB            string  `json:"db"`
 	Model         string  `json:"model"`
 	RuntimeSec    float64 `json:"runtime_sec"`
 	OptimizerCost float64 `json:"optimizer_cost"`
 	EstRows       float64 `json:"est_rows"`
+	PlanCached    bool    `json:"plan_cached"`
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -164,41 +156,44 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sql is required")
 		return
 	}
-	est, err := s.estimator(req.Model)
+	pred, err := s.sess.Predict(r.Context(), req.DB, req.Model, req.SQL)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	in, err := s.planInput(req.SQL)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	pred, err := est.Predict(r.Context(), in)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		sessionError(w, err)
 		return
 	}
 	writeJSON(w, predictResponse{
-		Model:         est.Name(),
-		RuntimeSec:    pred,
-		OptimizerCost: in.OptimizerCost,
-		EstRows:       in.Plan.EstRows,
+		DB:            pred.Database,
+		Model:         pred.Model,
+		RuntimeSec:    pred.RuntimeSec,
+		OptimizerCost: pred.OptimizerCost,
+		EstRows:       pred.EstRows,
+		PlanCached:    pred.PlanCached,
 	})
 }
 
 // predictBatchRequest is the /v1/predict_batch body.
 type predictBatchRequest struct {
+	DB    string   `json:"db"`
 	Model string   `json:"model"`
 	SQL   []string `json:"sql"`
 }
 
-// predictBatchResponse is the /v1/predict_batch reply; predictions align
+// batchItemResult is one statement's outcome: a prediction or that
+// statement's own error. One malformed statement no longer fails the
+// whole batch.
+type batchItemResult struct {
+	RuntimeSec float64 `json:"runtime_sec,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// predictBatchResponse is the /v1/predict_batch reply; results align
 // with the request's sql array.
 type predictBatchResponse struct {
-	Model      string    `json:"model"`
-	RuntimeSec []float64 `json:"runtime_sec"`
-	Count      int       `json:"count"`
+	DB      string            `json:"db"`
+	Model   string            `json:"model"`
+	Results []batchItemResult `json:"results"`
+	Count   int               `json:"count"`
+	Errors  int               `json:"errors"`
 }
 
 // maxBatch bounds one batch request; bigger workloads should be paged.
@@ -222,70 +217,165 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.SQL), maxBatch)
 		return
 	}
-	est, err := s.estimator(req.Model)
+	res, err := s.sess.PredictBatch(r.Context(), req.DB, req.Model, req.SQL)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		sessionError(w, err)
 		return
 	}
-	ins := make([]costmodel.PlanInput, len(req.SQL))
-	for i, sql := range req.SQL {
-		if ins[i], err = s.planInput(sql); err != nil {
-			httpError(w, http.StatusBadRequest, "sql[%d]: %v", i, err)
-			return
+	items := res.Items
+	resp := predictBatchResponse{Model: res.Model, DB: res.Database, Results: make([]batchItemResult, len(items)), Count: len(items)}
+	for i, item := range items {
+		if item.Err != nil {
+			resp.Results[i].Error = item.Err.Error()
+			resp.Errors++
+		} else {
+			resp.Results[i].RuntimeSec = item.RuntimeSec
 		}
 	}
-	preds, err := est.PredictBatch(r.Context(), ins)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "predict: %v", err)
-		return
-	}
-	writeJSON(w, predictBatchResponse{Model: est.Name(), RuntimeSec: preds, Count: len(preds)})
+	writeJSON(w, resp)
 }
 
-// runServe loads the model files and serves the prediction API.
-func runServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	modelPaths := fs.String("models", "", "comma-separated saved model files (required)")
-	addr := fs.String("addr", ":8080", "listen address")
-	dbScale := fs.Float64("dbscale", 0.1, "IMDB-like serving database scale")
-	if err := fs.Parse(args); err != nil {
-		return err
+// buildDatabase constructs one named serving database kind.
+func buildDatabase(kind string, scale float64) (*storage.Database, error) {
+	switch kind {
+	case "imdb":
+		return datagen.IMDBLike(scale)
+	case "ssb":
+		return datagen.SSBLike(scale)
+	case "tpch":
+		return datagen.TPCHLike(scale)
+	default:
+		return nil, fmt.Errorf("serve: unknown database kind %q (want imdb, ssb or tpch)", kind)
 	}
-	if *modelPaths == "" {
-		return fmt.Errorf("serve: -models is required")
-	}
-	models := map[string]costmodel.Estimator{}
-	for _, path := range strings.Split(*modelPaths, ",") {
+}
+
+// buildSession assembles the serving session. Model files load and
+// validate first — they fail cheaply, while each database costs seconds
+// of data generation.
+func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string) (*serving.Session, error) {
+	sess := serving.NewSession(cfg)
+	seen := map[string]bool{}
+	for _, path := range strings.Split(modelPaths, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
 			continue
 		}
 		est, err := loadModelFile(path)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Serve-time plans are never executed, so a model encoding exact
 		// cardinalities would fail every prediction — reject it at startup.
 		if zs, ok := est.(*costmodel.ZeroShot); ok && zs.Card() == encoding.CardExact {
-			return fmt.Errorf("serve: %s was trained with exact cardinalities, which do not exist for unexecuted plans; retrain with -card estimated", path)
+			return nil, fmt.Errorf("serve: %s was trained with exact cardinalities, which do not exist for unexecuted plans; retrain with -card estimated", path)
 		}
-		if _, dup := models[est.Name()]; dup {
-			return fmt.Errorf("serve: two models named %q; serve one file per estimator kind", est.Name())
+		if seen[est.Name()] {
+			return nil, fmt.Errorf("serve: two models named %q; serve one file per estimator kind", est.Name())
 		}
-		models[est.Name()] = est
+		seen[est.Name()] = true
+		if err := sess.AttachModel(est); err != nil {
+			return nil, err
+		}
 		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", est.Name(), path)
 	}
-	db, err := datagen.IMDBLike(*dbScale)
+	// Database builds are independent and cost seconds of data
+	// generation each; run them concurrently and attach in flag order.
+	var kinds []string
+	for _, kind := range strings.Split(dbSpec, ",") {
+		if kind = strings.TrimSpace(kind); kind != "" {
+			kinds = append(kinds, kind)
+		}
+	}
+	dbs := make([]*storage.Database, len(kinds))
+	errs := make([]error, len(kinds))
+	var wg sync.WaitGroup
+	for i, kind := range kinds {
+		wg.Add(1)
+		go func(i int, kind string) {
+			defer wg.Done()
+			dbs[i], errs[i] = buildDatabase(kind, dbScale)
+		}(i, kind)
+	}
+	wg.Wait()
+	for i, kind := range kinds {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if err := sess.AttachDatabase(kind, dbs[i]); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, dbScale)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("serve: no databases attached (check -databases)")
+	}
+	return sess, nil
+}
+
+// serveUntilSignal runs the HTTP server until a shutdown signal arrives,
+// then drains: stop accepting connections, let in-flight handlers finish
+// (bounded by drainTimeout), and close the session so queued micro-batches
+// still answer before the process exits.
+func serveUntilSignal(httpSrv *http.Server, ln net.Listener, sess *serving.Session, sigs <-chan os.Signal, drainTimeout time.Duration) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		sess.Close()
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "zsdb serve: %v received, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		shutdownErr := httpSrv.Shutdown(ctx)
+		sess.Close()
+		<-serveErr // http.ErrServerClosed once Shutdown completes
+		return shutdownErr
+	}
+}
+
+// runServe loads the model files, attaches the serving databases, and
+// serves the prediction API until SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	modelPaths := fs.String("models", "", "comma-separated saved model files (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	databases := fs.String("databases", "imdb", "comma-separated serving databases to attach: imdb, ssb, tpch")
+	dbScale := fs.Float64("dbscale", 0.1, "serving database scale")
+	batchMax := fs.Int("batch-max", serving.DefaultMaxBatch, "micro-batch size cap for coalesced single predictions")
+	batchWait := fs.Duration("batch-wait", serving.DefaultMaxWait, "micro-batch max-wait deadline")
+	planCache := fs.Int("plancache", costmodel.DefaultPlanCacheSize, "per-database plan cache entries")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPaths == "" {
+		return fmt.Errorf("serve: -models is required")
+	}
+	sess, err := buildSession(serving.Config{
+		MaxBatch:      *batchMax,
+		MaxWait:       *batchWait,
+		PlanCacheSize: *planCache,
+	}, *databases, *dbScale, *modelPaths)
 	if err != nil {
 		return err
 	}
-	srv := newServer(db, models)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.mux(),
+		Handler:           newServer(sess).mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "serving %d model(s) over %s on %s\n",
-		len(models), db.Schema.Name, *addr)
-	return httpSrv.ListenAndServe()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	fmt.Fprintf(os.Stderr, "serving %d model(s) over %d database(s) on %s\n",
+		len(sess.Models()), len(sess.Databases()), ln.Addr())
+	err = serveUntilSignal(httpSrv, ln, sess, sigs, *drain)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
 }

@@ -5,27 +5,33 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 )
 
-// serveFixture is one serving database with two trained estimators — the
-// zero-shot model (estimated cardinalities, so unexecuted plans predict)
-// and the scaled-cost regression.
+// serveFixture is two serving databases (the zero-shot model has never
+// trained on either schema's workload beyond imdb) with two trained
+// estimators — the zero-shot model (estimated cardinalities, so
+// unexecuted plans predict) and the scaled-cost regression.
 type serveFixture struct {
-	db     *storage.Database
-	models map[string]costmodel.Estimator
+	imdb   *storage.Database
+	ssb    *storage.Database
+	models []costmodel.Estimator
 }
 
 var (
@@ -37,18 +43,23 @@ var (
 func sharedServeFixture(t *testing.T) serveFixture {
 	t.Helper()
 	serveOnce.Do(func() {
-		db, err := datagen.IMDBLike(0.08)
+		imdb, err := datagen.IMDBLike(0.08)
 		if err != nil {
 			serveErr = err
 			return
 		}
-		recs, err := collect.Run(db, collect.Options{Queries: 60, Seed: 5})
+		ssb, err := datagen.SSBLike(0.05)
 		if err != nil {
 			serveErr = err
 			return
 		}
-		samples := costmodel.FromRecords(db, recs)
-		models := map[string]costmodel.Estimator{}
+		recs, err := collect.Run(imdb, collect.Options{Queries: 60, Seed: 5})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		samples := costmodel.FromRecords(imdb, recs)
+		var models []costmodel.Estimator
 		zs, err := costmodel.New(costmodel.NameZeroShot,
 			costmodel.Options{Hidden: 12, Epochs: 2, Card: encoding.CardEstimated})
 		if err == nil {
@@ -58,7 +69,7 @@ func sharedServeFixture(t *testing.T) serveFixture {
 			serveErr = err
 			return
 		}
-		models[zs.Name()] = zs
+		models = append(models, zs)
 		sc, err := costmodel.New(costmodel.NameScaledCost, costmodel.Options{})
 		if err == nil {
 			_, err = sc.Fit(context.Background(), samples)
@@ -67,8 +78,8 @@ func sharedServeFixture(t *testing.T) serveFixture {
 			serveErr = err
 			return
 		}
-		models[sc.Name()] = sc
-		serveFix = serveFixture{db: db, models: models}
+		models = append(models, sc)
+		serveFix = serveFixture{imdb: imdb, ssb: ssb, models: models}
 	})
 	if serveErr != nil {
 		t.Fatal(serveErr)
@@ -76,10 +87,31 @@ func sharedServeFixture(t *testing.T) serveFixture {
 	return serveFix
 }
 
-func newTestServer(t *testing.T) *httptest.Server {
+// newTestSession assembles a multi-database session over the shared
+// fixture. Each test gets its own session so stats and caches start
+// empty.
+func newTestSession(t *testing.T, cfg serving.Config) *serving.Session {
 	t.Helper()
 	f := sharedServeFixture(t)
-	ts := httptest.NewServer(newServer(f.db, f.models).mux())
+	sess := serving.NewSession(cfg)
+	if err := sess.AttachDatabase("imdb", f.imdb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AttachDatabase("ssb", f.ssb); err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range f.models {
+		if err := sess.AttachModel(est); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(newTestSession(t, serving.Config{})).mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -102,56 +134,110 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]js
 	return resp, out
 }
 
-const testSQL = "SELECT COUNT(*) FROM title WHERE production_year > 50"
-
-func TestServeHealthzAndModels(t *testing.T) {
-	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/healthz")
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("non-JSON response from %s: %v", url, err)
+	}
+	return resp
+}
+
+const testSQL = "SELECT COUNT(*) FROM title WHERE production_year > 50"
+
+func TestServeHealthzAndModels(t *testing.T) {
+	ts := newTestServer(t)
+	var health struct {
+		Status    string `json:"status"`
+		Models    int    `json:"models"`
+		Databases int    `json:"databases"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz = %d", resp.StatusCode)
 	}
-	var health struct {
-		Status string `json:"status"`
-		Models int    `json:"models"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatal(err)
-	}
-	if health.Status != "ok" || health.Models != 2 {
+	if health.Status != "ok" || health.Models != 2 || health.Databases != 2 {
 		t.Fatalf("health = %+v", health)
 	}
 
-	resp2, err := http.Get(ts.URL + "/v1/models")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp2.Body.Close()
 	var models struct {
-		Models   []modelInfo `json:"models"`
-		Database string      `json:"database"`
+		Models    []modelInfo `json:"models"`
+		Databases []string    `json:"databases"`
 	}
-	if err := json.NewDecoder(resp2.Body).Decode(&models); err != nil {
-		t.Fatal(err)
+	if resp := getJSON(t, ts.URL+"/v1/models", &models); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/models = %d", resp.StatusCode)
 	}
-	if len(models.Models) != 2 || models.Database == "" {
+	if len(models.Models) != 2 || len(models.Databases) != 2 {
 		t.Fatalf("models = %+v", models)
+	}
+}
+
+func TestServeDatabases(t *testing.T) {
+	ts := newTestServer(t)
+	var out struct {
+		Databases []serving.DatabaseInfo `json:"databases"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/databases", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/databases = %d", resp.StatusCode)
+	}
+	if len(out.Databases) != 2 {
+		t.Fatalf("databases = %+v", out.Databases)
+	}
+	if out.Databases[0].Name != "imdb" || out.Databases[1].Name != "ssb" {
+		t.Fatalf("databases = %+v, want sorted imdb, ssb", out.Databases)
+	}
+	for _, d := range out.Databases {
+		if d.Tables == 0 || d.Schema == "" {
+			t.Fatalf("database %+v missing schema info", d)
+		}
 	}
 }
 
 func TestServePredict(t *testing.T) {
 	ts := newTestServer(t)
 	for _, model := range []string{costmodel.NameZeroShot, costmodel.NameScaledCost} {
-		resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: model, SQL: testSQL})
+		resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{DB: "imdb", Model: model, SQL: testSQL})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d body %v", model, resp.StatusCode, body)
 		}
 		var rt float64
 		if err := json.Unmarshal(body["runtime_sec"], &rt); err != nil || rt <= 0 {
 			t.Fatalf("%s: runtime_sec = %s (err %v)", model, body["runtime_sec"], err)
+		}
+	}
+	// Repeated statement: the second call must be served from the plan
+	// cache (db field in reply confirms routing).
+	resp, body := postJSON(t, ts.URL+"/v1/predict",
+		predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: "  " + testSQL + "  "})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: status %d body %v", resp.StatusCode, body)
+	}
+	var cached bool
+	if err := json.Unmarshal(body["plan_cached"], &cached); err != nil || !cached {
+		t.Fatalf("plan_cached = %s (err %v), want true", body["plan_cached"], err)
+	}
+}
+
+// TestServePredictMultiDB routes the same model against both attached
+// databases — the zero-shot promise over one serving process.
+func TestServePredictMultiDB(t *testing.T) {
+	ts := newTestServer(t)
+	queries := map[string]string{
+		"imdb": testSQL,
+		"ssb":  "SELECT COUNT(*) FROM lineorder",
+	}
+	for db, sql := range queries {
+		resp, body := postJSON(t, ts.URL+"/v1/predict",
+			predictRequest{DB: db, Model: costmodel.NameZeroShot, SQL: sql})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", db, resp.StatusCode, body)
+		}
+		var gotDB string
+		if err := json.Unmarshal(body["db"], &gotDB); err != nil || gotDB != db {
+			t.Fatalf("reply db = %s, want %s", body["db"], db)
 		}
 	}
 }
@@ -163,11 +249,14 @@ func TestServePredictErrors(t *testing.T) {
 		body any
 		want int
 	}{
-		{name: "missing sql", body: predictRequest{Model: costmodel.NameZeroShot}, want: http.StatusBadRequest},
-		{name: "bad sql", body: predictRequest{Model: costmodel.NameZeroShot, SQL: "DROP TABLE title"}, want: http.StatusBadRequest},
-		{name: "unknown table", body: predictRequest{Model: costmodel.NameZeroShot, SQL: "SELECT COUNT(*) FROM nope"}, want: http.StatusBadRequest},
-		{name: "unknown model", body: predictRequest{Model: "nope", SQL: testSQL}, want: http.StatusNotFound},
-		{name: "ambiguous empty model", body: predictRequest{SQL: testSQL}, want: http.StatusNotFound},
+		{name: "missing sql", body: predictRequest{DB: "imdb", Model: costmodel.NameZeroShot}, want: http.StatusBadRequest},
+		{name: "bad sql", body: predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: "DROP TABLE title"}, want: http.StatusBadRequest},
+		{name: "unknown table", body: predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: "SELECT COUNT(*) FROM nope"}, want: http.StatusBadRequest},
+		{name: "table of other db", body: predictRequest{DB: "ssb", Model: costmodel.NameZeroShot, SQL: testSQL}, want: http.StatusBadRequest},
+		{name: "unknown model", body: predictRequest{DB: "imdb", Model: "nope", SQL: testSQL}, want: http.StatusNotFound},
+		{name: "ambiguous empty model", body: predictRequest{DB: "imdb", SQL: testSQL}, want: http.StatusNotFound},
+		{name: "unknown db", body: predictRequest{DB: "nope", Model: costmodel.NameZeroShot, SQL: testSQL}, want: http.StatusNotFound},
+		{name: "ambiguous empty db", body: predictRequest{Model: costmodel.NameZeroShot, SQL: testSQL}, want: http.StatusNotFound},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -199,32 +288,103 @@ func TestServePredictBatch(t *testing.T) {
 		"SELECT COUNT(*) FROM movie_companies, title WHERE movie_companies.movie_id = title.id",
 	}
 	resp, body := postJSON(t, ts.URL+"/v1/predict_batch",
-		predictBatchRequest{Model: costmodel.NameZeroShot, SQL: sqls})
+		predictBatchRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: sqls})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d body %v", resp.StatusCode, body)
 	}
-	var preds []float64
-	if err := json.Unmarshal(body["runtime_sec"], &preds); err != nil {
+	var results []batchItemResult
+	if err := json.Unmarshal(body["results"], &results); err != nil {
 		t.Fatal(err)
 	}
-	if len(preds) != len(sqls) {
-		t.Fatalf("%d predictions for %d queries", len(preds), len(sqls))
+	if len(results) != len(sqls) {
+		t.Fatalf("%d results for %d queries", len(results), len(sqls))
 	}
-	for i, p := range preds {
-		if p <= 0 {
-			t.Fatalf("prediction %d not positive: %v", i, p)
+	for i, res := range results {
+		if res.Error != "" || res.RuntimeSec <= 0 {
+			t.Fatalf("result %d = %+v", i, res)
 		}
 	}
 
 	// Batch-level validation.
-	resp, _ = postJSON(t, ts.URL+"/v1/predict_batch", predictBatchRequest{Model: costmodel.NameZeroShot})
+	resp, _ = postJSON(t, ts.URL+"/v1/predict_batch", predictBatchRequest{DB: "imdb", Model: costmodel.NameZeroShot})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty batch = %d, want 400", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/predict_batch",
-		predictBatchRequest{Model: costmodel.NameZeroShot, SQL: []string{testSQL, "garbage"}})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("batch with bad sql = %d, want 400", resp.StatusCode)
+}
+
+// TestServePredictBatchPerItemErrors checks the structured error
+// contract end to end: malformed SQL and unknown tables error item by
+// item while the healthy statements still predict.
+func TestServePredictBatchPerItemErrors(t *testing.T) {
+	ts := newTestServer(t)
+	sqls := []string{
+		testSQL,
+		"garbage",
+		"SELECT COUNT(*) FROM no_such_table",
+		"SELECT COUNT(*) FROM movie_companies",
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict_batch",
+		predictBatchRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: sqls})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %v (mixed batches should answer per item)", resp.StatusCode, body)
+	}
+	var results []batchItemResult
+	if err := json.Unmarshal(body["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	var nerr int
+	if err := json.Unmarshal(body["errors"], &nerr); err != nil || nerr != 2 {
+		t.Fatalf("errors = %s, want 2", body["errors"])
+	}
+	for i, wantOK := range []bool{true, false, false, true} {
+		switch {
+		case wantOK && (results[i].Error != "" || results[i].RuntimeSec <= 0):
+			t.Fatalf("result %d should have predicted: %+v", i, results[i])
+		case !wantOK && results[i].Error == "":
+			t.Fatalf("result %d should carry an error: %+v", i, results[i])
+		}
+	}
+	// The statement-level errors name the failing stage.
+	if !strings.Contains(results[1].Error, "parse") {
+		t.Fatalf("malformed-SQL error %q should name the parse stage", results[1].Error)
+	}
+}
+
+// TestServeStats checks /v1/stats reflects traffic: request counters,
+// plan-cache hit rates and scheduler drains.
+func TestServeStats(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/predict",
+			predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: testSQL})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d failed", i)
+		}
+	}
+	var st serving.Stats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", resp.StatusCode)
+	}
+	if st.Requests != 3 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Scheduler.Items != 3 || st.Predict.Count != 3 {
+		t.Fatalf("scheduler/predict stats = %+v / %+v", st.Scheduler, st.Predict)
+	}
+	var imdbStats *serving.DatabaseStats
+	for i := range st.Databases {
+		if st.Databases[i].Database == "imdb" {
+			imdbStats = &st.Databases[i]
+		}
+	}
+	if imdbStats == nil {
+		t.Fatalf("no imdb stats in %+v", st.Databases)
+	}
+	if imdbStats.PlanCache.Hits != 2 || imdbStats.PlanCache.Misses != 1 {
+		t.Fatalf("plan cache = %+v, want 2 hits / 1 miss", imdbStats.PlanCache)
+	}
+	if imdbStats.Stages["parse"].Count != 1 {
+		t.Fatalf("parse stage = %+v, want exactly one run", imdbStats.Stages)
 	}
 }
 
@@ -246,14 +406,50 @@ func TestServeRejectsExactCardModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	err = runServe([]string{"-models", path, "-addr", "127.0.0.1:0"})
+	err = runServe([]string{"-models", path, "-addr", "127.0.0.1:0", "-dbscale", "0.05"})
 	if err == nil || !strings.Contains(err.Error(), "exact cardinalities") {
 		t.Fatalf("serve accepted an exact-cardinality model (err: %v)", err)
 	}
 }
 
-// TestServeConcurrentBatch hammers /v1/predict_batch from several clients
-// at once; run under -race this covers the serving hot path end to end.
+// TestServeGracefulShutdown drives the real serve loop: requests succeed,
+// then a SIGTERM drains the server and the loop returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	sess := newTestSession(t, serving.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: newServer(sess).mux()}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(httpSrv, ln, sess, sigs, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, body := postJSON(t, url+"/v1/predict",
+		predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: testSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict before shutdown: %d %v", resp.StatusCode, body)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve loop did not drain within 10s")
+	}
+	// The listener is closed and the session rejects new work.
+	if _, err := http.Post(url+"/v1/predict", "application/json", strings.NewReader("{}")); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServeConcurrentBatch hammers /v1/predict and /v1/predict_batch
+// from several clients at once across both databases; run under -race
+// this covers the serving hot path end to end.
 func TestServeConcurrentBatch(t *testing.T) {
 	ts := newTestServer(t)
 	sqls := make([]string, 16)
@@ -262,7 +458,7 @@ func TestServeConcurrentBatch(t *testing.T) {
 	}
 	const clients = 8
 	var wg sync.WaitGroup
-	errCh := make(chan error, clients)
+	errCh := make(chan error, 2*clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -271,7 +467,7 @@ func TestServeConcurrentBatch(t *testing.T) {
 			if c%2 == 1 {
 				model = costmodel.NameScaledCost
 			}
-			buf, _ := json.Marshal(predictBatchRequest{Model: model, SQL: sqls})
+			buf, _ := json.Marshal(predictBatchRequest{DB: "imdb", Model: model, SQL: sqls})
 			resp, err := http.Post(ts.URL+"/v1/predict_batch", "application/json", bytes.NewReader(buf))
 			if err != nil {
 				errCh <- err
@@ -283,8 +479,23 @@ func TestServeConcurrentBatch(t *testing.T) {
 				errCh <- err
 				return
 			}
-			if resp.StatusCode != http.StatusOK || out.Count != len(sqls) {
-				errCh <- fmt.Errorf("client %d: status %d count %d", c, resp.StatusCode, out.Count)
+			if resp.StatusCode != http.StatusOK || out.Count != len(sqls) || out.Errors != 0 {
+				errCh <- fmt.Errorf("client %d: status %d count %d errors %d", c, resp.StatusCode, out.Count, out.Errors)
+			}
+		}(c)
+		// Singles in parallel with batches: these coalesce in the scheduler.
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			buf, _ := json.Marshal(predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: sqls[c%len(sqls)]})
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("single client %d: status %d", c, resp.StatusCode)
 			}
 		}(c)
 	}

@@ -1,7 +1,8 @@
 // Quickstart: train a zero-shot cost model on a handful of synthetic
-// databases through the costmodel Estimator API, then batch-predict query
-// runtimes on a database the model has never seen — with no training
-// queries on that database.
+// databases through the costmodel Estimator API, then serve runtime
+// predictions for a database the model has never seen — with no training
+// queries on that database — through a serving.Session, the same
+// pipeline `zsdb serve` hosts over HTTP.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -16,6 +17,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
 )
 
 func main() {
@@ -30,7 +32,9 @@ func main() {
 
 	// 2. Learning phase: execute a random workload on each database. The
 	//    estimator owns the transferable graph encoding — collected records
-	//    go in as-is, with their database as featurization context.
+	//    go in as-is, with their database as featurization context. We
+	//    train with estimated cardinalities because served queries are
+	//    planned but never executed.
 	var samples []costmodel.Sample
 	for i, db := range corpus {
 		recs, err := collect.Run(db, collect.Options{Queries: 150, Seed: int64(100 * (i + 1))})
@@ -43,7 +47,7 @@ func main() {
 	}
 
 	model, err := costmodel.New(costmodel.NameZeroShot, costmodel.Options{
-		Hidden: 24, Epochs: 14, Card: encoding.CardExact,
+		Hidden: 24, Epochs: 14, Card: encoding.CardEstimated,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -55,28 +59,48 @@ func main() {
 	fmt.Printf("trained zero-shot model on %d plans; loss %.3f -> %.3f\n\n",
 		report.Samples, report.EpochLoss[0], report.EpochLoss[len(report.EpochLoss)-1])
 
-	// 3. Zero-shot inference on an UNSEEN database: the SSB-like star
-	//    schema was never part of training. PredictBatch fans the forward
-	//    passes out over all cores.
+	// 3. Serving phase on an UNSEEN database: the SSB-like star schema was
+	//    never part of training. Attach it (and the model) to a Session —
+	//    the serving pipeline parses, plans and featurizes each SQL text,
+	//    caches the plan by fingerprint, and micro-batches predictions.
 	ssb, err := datagen.SSBLike(0.1)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := serving.NewSession(serving.Config{})
+	defer sess.Close()
+	if err := sess.AttachDatabase("ssb", ssb); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.AttachModel(model); err != nil {
+		log.Fatal(err)
+	}
+
+	// Executed ground truth to compare against (the session itself never
+	// executes anything).
 	recs, err := collect.Run(ssb, collect.Options{Queries: 50, Seed: 4242})
 	if err != nil {
 		log.Fatal(err)
 	}
-	evalSamples := costmodel.FromRecords(ssb, recs)
-	preds, err := model.PredictBatch(ctx, costmodel.Inputs(evalSamples))
+	sqls := make([]string, len(recs))
+	actuals := make([]float64, len(recs))
+	for i, r := range recs {
+		sqls[i] = r.Query.SQL()
+		actuals[i] = r.RuntimeSec
+	}
+	res, err := sess.PredictBatch(ctx, "ssb", costmodel.NameZeroShot, sqls)
 	if err != nil {
 		log.Fatal(err)
 	}
-	actuals := make([]float64, len(recs))
-	for i, r := range recs {
-		actuals[i] = r.RuntimeSec
+	preds := make([]float64, len(res.Items))
+	for i, item := range res.Items {
+		if item.Err != nil {
+			log.Fatalf("statement %d: %v", i, item.Err)
+		}
+		preds[i] = item.RuntimeSec
 		if i < 5 {
 			fmt.Printf("  %-70.70s  predicted %7.3fs  actual %7.3fs  q-error %.2f\n",
-				r.Query.SQL(), preds[i], r.RuntimeSec, metrics.QError(preds[i], r.RuntimeSec))
+				sqls[i], preds[i], actuals[i], metrics.QError(preds[i], actuals[i]))
 		}
 	}
 	sum, err := metrics.Summarize(preds, actuals)
@@ -85,4 +109,15 @@ func main() {
 	}
 	fmt.Printf("\nzero-shot on unseen database %q: %v\n", ssb.Schema.Name, sum)
 	fmt.Println("(no query was ever executed on this database for training)")
+
+	// 4. Repeat one statement: the plan cache skips parse/optimize and the
+	//    session reports the hit in its stats.
+	if _, err := sess.Predict(ctx, "ssb", "", sqls[0]); err != nil {
+		log.Fatal(err)
+	}
+	st := sess.Stats()
+	for _, d := range st.Databases {
+		fmt.Printf("plan cache on %s: %d hits / %d misses after %d requests\n",
+			d.Database, d.PlanCache.Hits, d.PlanCache.Misses, st.Requests)
+	}
 }

@@ -1,6 +1,8 @@
 package costmodel
 
 import (
+	"container/list"
+	"strings"
 	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
@@ -33,4 +35,111 @@ func (c *featCache) get(db *storage.Database) (*encoding.Vocab, *stats.DBStats) 
 		en.st = stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
 	})
 	return en.vocab, en.st
+}
+
+// Fingerprint canonicalizes one SQL text into a plan-cache key: it
+// collapses all whitespace runs to single spaces and trims the ends, so
+// reformattings of the same statement share a cache entry. Identifier and
+// keyword case is preserved — two statements that differ beyond layout
+// never collide, which keeps cached plans (whose cost estimates depend on
+// literal values) exact.
+func Fingerprint(sql string) string {
+	return strings.Join(strings.Fields(sql), " ")
+}
+
+// PlanCacheStats is a point-in-time view of one PlanCache.
+type PlanCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// planCacheEntry is one cached prepared input keyed by its fingerprint.
+type planCacheEntry struct {
+	fp string
+	in PlanInput
+}
+
+// PlanCache is a bounded LRU of prepared prediction inputs keyed by SQL
+// fingerprint. It is the serving layer's complement to featCache: where
+// featCache memoizes per-*database* featurization context inside the
+// adapters, PlanCache memoizes the per-*statement* parse→optimize work
+// (the PlanInput) so repeated query shapes skip straight to prediction.
+// One PlanCache serves one database; cached PlanInputs carry that
+// database's pointer and must not outlive it. Safe for concurrent use.
+type PlanCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List               // front = most recently used
+	entries   map[string]*list.Element // fingerprint -> *planCacheEntry
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// DefaultPlanCacheSize bounds a PlanCache when the caller passes a
+// non-positive capacity.
+const DefaultPlanCacheSize = 4096
+
+// NewPlanCache returns an empty cache holding at most capacity entries
+// (DefaultPlanCacheSize if capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached input for a fingerprint, marking it most
+// recently used.
+func (c *PlanCache) Get(fp string) (PlanInput, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return PlanInput{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).in, true
+}
+
+// Put inserts (or refreshes) the input under a fingerprint, evicting the
+// least recently used entry when full.
+func (c *PlanCache) Put(fp string, in PlanInput) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*planCacheEntry).in = in
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planCacheEntry).fp)
+		c.evictions++
+	}
+	c.entries[fp] = c.ll.PushFront(&planCacheEntry{fp: fp, in: in})
+}
+
+// Stats reports the cache's lifetime hit/miss/eviction counts and its
+// current occupancy.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+	}
 }

@@ -1,0 +1,87 @@
+package costmodel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("SELECT COUNT(*)   FROM title\n\tWHERE production_year > 50")
+	b := Fingerprint("  SELECT COUNT(*) FROM title WHERE production_year > 50 ")
+	if a != b {
+		t.Fatalf("reformatted statements fingerprint differently:\n%q\n%q", a, b)
+	}
+	// Different literals must not collide: cached plans embed
+	// literal-dependent cost estimates.
+	c := Fingerprint("SELECT COUNT(*) FROM title WHERE production_year > 51")
+	if a == c {
+		t.Fatal("statements with different literals share a fingerprint")
+	}
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	in := func(cost float64) PlanInput { return PlanInput{OptimizerCost: cost} }
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", in(1))
+	c.Put("b", in(2))
+	if got, ok := c.Get("a"); !ok || got.OptimizerCost != 1 {
+		t.Fatalf("a = %+v ok=%v", got, ok)
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put("c", in(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) was evicted")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses", st)
+	}
+
+	// Refreshing an existing key must not grow the cache.
+	c.Put("a", in(10))
+	if got, _ := c.Get("a"); got.OptimizerCost != 10 {
+		t.Fatalf("refresh lost: %+v", got)
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Fatalf("refresh grew cache: %+v", st)
+	}
+}
+
+func TestPlanCacheDefaultCapacity(t *testing.T) {
+	if st := NewPlanCache(0).Stats(); st.Capacity != DefaultPlanCacheSize {
+		t.Fatalf("capacity = %d, want %d", st.Capacity, DefaultPlanCacheSize)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				fp := fmt.Sprintf("q%d", (g*300+i)%100)
+				if _, ok := c.Get(fp); !ok {
+					c.Put(fp, PlanInput{OptimizerCost: float64(i)})
+				}
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Size > 64 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+}

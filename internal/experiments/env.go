@@ -30,6 +30,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
 	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
@@ -132,6 +133,21 @@ type Env struct {
 	// EvalDB (the index workload's records run under random hypothetical
 	// indexes).
 	EvalRecords map[string][]collect.Record
+
+	sessOnce sync.Once
+	sess     *serving.Session
+}
+
+// Session returns the run's serving session (built lazily): every
+// experiment's predictions drain through the same serving predict stage
+// and metrics as production traffic, instead of hand-wiring estimator
+// calls. No database is attached — evaluation inputs carry executed
+// plans, so the harness owns the pre-predict pipeline stages.
+func (env *Env) Session() *serving.Session {
+	env.sessOnce.Do(func() {
+		env.sess = serving.NewSession(serving.Config{})
+	})
+	return env.sess
 }
 
 // workloadFunc maps a workload name to its generator.
@@ -326,13 +342,16 @@ func (env *Env) evalInputs(workload string) ([]costmodel.PlanInput, []float64, e
 }
 
 // evalEstimator batch-predicts a workload with any estimator and returns
-// (predictions, actuals).
+// (predictions, actuals). Predictions route through the serving session's
+// predict stage: evaluation inputs carry executed plans (exact
+// cardinalities), so the earlier pipeline stages stay with the harness
+// while the inference path is the production one.
 func (env *Env) evalEstimator(est costmodel.Estimator, workload string) ([]float64, []float64, error) {
 	ins, actuals, err := env.evalInputs(workload)
 	if err != nil {
 		return nil, nil, err
 	}
-	preds, err := est.PredictBatch(context.Background(), ins)
+	preds, err := env.Session().PredictPlanned(context.Background(), est, ins)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the serving-side observability primitives: cheap,
+// goroutine-safe counters the prediction service aggregates into its
+// /v1/stats endpoint. They are deliberately simple — atomic counters and a
+// bounded reservoir of recent latencies — so recording on the request hot
+// path costs nanoseconds.
+
+// Counter is a goroutine-safe monotonic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// HitCounter tracks a hit/miss ratio (e.g. a cache's).
+type HitCounter struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Hit records one hit.
+func (h *HitCounter) Hit() { h.hits.Add(1) }
+
+// HitN records n hits in one atomic add — for call sites that resolve a
+// whole batch to the same outcome.
+func (h *HitCounter) HitN(n int64) { h.hits.Add(n) }
+
+// Miss records one miss.
+func (h *HitCounter) Miss() { h.misses.Add(1) }
+
+// HitRate summarizes a HitCounter.
+type HitRate struct {
+	Hits   int64   `json:"hits"`
+	Misses int64   `json:"misses"`
+	Rate   float64 `json:"rate"`
+}
+
+// Snapshot returns the current hit/miss totals and rate (0 when empty).
+func (h *HitCounter) Snapshot() HitRate {
+	hits, misses := h.hits.Load(), h.misses.Load()
+	r := HitRate{Hits: hits, Misses: misses}
+	if total := hits + misses; total > 0 {
+		r.Rate = float64(hits) / float64(total)
+	}
+	return r
+}
+
+// latencyWindow bounds the reservoir of recent observations a
+// LatencyRecorder keeps for quantile estimates. Totals (count, sum, max)
+// cover the recorder's whole lifetime.
+const latencyWindow = 1024
+
+// LatencyRecorder records operation latencies: lifetime count/mean/max
+// plus p50/p95 over a sliding window of the most recent observations.
+type LatencyRecorder struct {
+	mu     sync.Mutex
+	window [latencyWindow]float64 // seconds, ring buffer
+	next   int                    // ring write position
+	filled int                    // valid entries in window
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// Observe records one operation latency.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	sec := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.window[l.next] = sec
+	l.next = (l.next + 1) % latencyWindow
+	if l.filled < latencyWindow {
+		l.filled++
+	}
+	l.count++
+	l.sum += sec
+	if sec > l.max {
+		l.max = sec
+	}
+}
+
+// LatencySummary is a point-in-time view of a LatencyRecorder, in
+// milliseconds (the natural unit of serving latencies).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Snapshot summarizes the recorder. Quantiles come from the recent
+// window; count, mean and max cover all observations ever recorded.
+func (l *LatencyRecorder) Snapshot() LatencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return LatencySummary{}
+	}
+	recent := make([]float64, l.filled)
+	copy(recent, l.window[:l.filled])
+	const toMs = 1e3
+	return LatencySummary{
+		Count:  l.count,
+		MeanMs: l.sum / float64(l.count) * toMs,
+		P50Ms:  Median(recent) * toMs,
+		P95Ms:  Percentile(recent, 0.95) * toMs,
+		MaxMs:  l.max * toMs,
+	}
+}

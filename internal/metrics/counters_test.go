@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+			c.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*102 {
+		t.Fatalf("counter = %d, want %d", got, 8*102)
+	}
+}
+
+func TestHitCounter(t *testing.T) {
+	var h HitCounter
+	if r := h.Snapshot(); r.Rate != 0 || r.Hits != 0 || r.Misses != 0 {
+		t.Fatalf("empty snapshot = %+v", r)
+	}
+	h.Hit()
+	h.HitN(2)
+	h.Miss()
+	r := h.Snapshot()
+	if r.Hits != 3 || r.Misses != 1 || math.Abs(r.Rate-0.75) > 1e-12 {
+		t.Fatalf("snapshot = %+v, want 3 hits / 1 miss / rate 0.75", r)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if s := l.Snapshot(); s.Count != 0 || s.P95Ms != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// 100 observations of 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.P50Ms-50) > 1 || math.Abs(s.P95Ms-95) > 1 {
+		t.Fatalf("p50 = %.2fms p95 = %.2fms, want ~50/~95", s.P50Ms, s.P95Ms)
+	}
+	if math.Abs(s.MaxMs-100) > 1e-9 || math.Abs(s.MeanMs-50.5) > 1e-9 {
+		t.Fatalf("max = %.2fms mean = %.2fms, want 100/50.5", s.MaxMs, s.MeanMs)
+	}
+}
+
+// TestLatencyRecorderWindow checks that quantiles track the recent window
+// while count and max stay lifetime-wide.
+func TestLatencyRecorderWindow(t *testing.T) {
+	var l LatencyRecorder
+	l.Observe(10 * time.Second) // ancient outlier
+	for i := 0; i < latencyWindow; i++ {
+		l.Observe(time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.Count != latencyWindow+1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P95Ms > 2 {
+		t.Fatalf("p95 = %.2fms should reflect the recent 1ms window", s.P95Ms)
+	}
+	if math.Abs(s.MaxMs-10000) > 1e-6 {
+		t.Fatalf("max = %.2fms should keep the lifetime outlier", s.MaxMs)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var l LatencyRecorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Observe(time.Microsecond)
+				_ = l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := l.Snapshot(); s.Count != 8*200 {
+		t.Fatalf("count = %d, want %d", s.Count, 8*200)
+	}
+}

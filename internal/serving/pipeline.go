@@ -1,0 +1,150 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// Pipeline-stage names, in execution order. They key the per-stage
+// latency maps in DatabaseStats.
+const (
+	StageParse     = "parse"
+	StageOptimize  = "optimize"
+	StageFeaturize = "featurize"
+	StagePredict   = "predict"
+)
+
+// prepareStages is the SQL→PlanInput stage chain every statement runs
+// (unless the plan cache short-circuits it). Stages are named funcs over
+// a shared carrier so the chain stays recomposable — inserting a rewrite
+// stage or dropping one is a slice edit, not a refactor.
+var prepareStages = []stage{
+	{StageParse, (*dbSession).parseStage},
+	{StageOptimize, (*dbSession).optimizeStage},
+	{StageFeaturize, (*dbSession).featurizeStage},
+}
+
+// stage is one named pipeline step.
+type stage struct {
+	name string
+	fn   func(*dbSession, *pipelineQuery) error
+}
+
+// pipelineQuery carries one statement through the stage chain; each stage
+// fills the fields the next one reads.
+type pipelineQuery struct {
+	sql string
+	q   *query.Query
+	p   *plan.Node
+	in  costmodel.PlanInput
+}
+
+// dbSession is the per-attached-database pipeline state, built once at
+// AttachDatabase: collected statistics, the optimizer over them, the plan
+// cache, and per-stage latency recorders. Hoisting this out of the
+// request path is what makes handlers read-only and lock-free — the old
+// server rebuilt nothing per request but could serve only one database;
+// a Session keeps one of these per attached database.
+type dbSession struct {
+	name  string
+	db    *storage.Database
+	opt   *optimizer.Optimizer
+	cache *costmodel.PlanCache
+	lat   map[string]*metrics.LatencyRecorder
+}
+
+func newDBSession(name string, db *storage.Database, cacheSize int) *dbSession {
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	d := &dbSession{
+		name:  name,
+		db:    db,
+		opt:   optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams()),
+		cache: costmodel.NewPlanCache(cacheSize),
+		lat:   map[string]*metrics.LatencyRecorder{},
+	}
+	for _, s := range prepareStages {
+		d.lat[s.name] = &metrics.LatencyRecorder{}
+	}
+	return d
+}
+
+// prepare turns one SQL text into a prediction input, consulting the plan
+// cache first. The returned bool reports a cache hit. The plan is NOT
+// executed: predictions see exactly what a database would know before
+// running the query.
+func (d *dbSession) prepare(sql string) (costmodel.PlanInput, bool, error) {
+	fp := costmodel.Fingerprint(sql)
+	if in, ok := d.cache.Get(fp); ok {
+		return in, true, nil
+	}
+	pq := &pipelineQuery{sql: sql}
+	for _, s := range prepareStages {
+		start := time.Now()
+		err := s.fn(d, pq)
+		d.lat[s.name].Observe(time.Since(start))
+		if err != nil {
+			// Both the stage's own error and ErrBadQuery stay in the
+			// chain, so callers can match either.
+			return costmodel.PlanInput{}, false, fmt.Errorf("%s: %w: %w", s.name, err, ErrBadQuery)
+		}
+	}
+	d.cache.Put(fp, pq.in)
+	return pq.in, false, nil
+}
+
+// parseStage resolves the SQL text against the database's schema.
+func (d *dbSession) parseStage(pq *pipelineQuery) error {
+	q, err := sqlparse.Parse(pq.sql, d.db.Schema)
+	if err != nil {
+		return err
+	}
+	pq.q = q
+	return nil
+}
+
+// optimizeStage plans the parsed query with the database's hoisted
+// optimizer and statistics.
+func (d *dbSession) optimizeStage(pq *pipelineQuery) error {
+	p, err := d.opt.Plan(pq.q)
+	if err != nil {
+		return err
+	}
+	pq.p = p
+	return nil
+}
+
+// featurizeStage assembles the estimator-facing prediction input. The
+// deep featurization (graph encoding, set featurization, ...) is owned by
+// each estimator adapter and memoized per database in costmodel's
+// featCache; this stage builds the shared context they all consume.
+func (d *dbSession) featurizeStage(pq *pipelineQuery) error {
+	pq.in = costmodel.PlanInput{
+		DB:            d.db,
+		Query:         pq.q,
+		Plan:          pq.p,
+		OptimizerCost: optimizer.TotalCost(pq.p),
+	}
+	return nil
+}
+
+// stats snapshots the database's stage latencies and plan cache.
+func (d *dbSession) stats() DatabaseStats {
+	stages := make(map[string]metrics.LatencySummary, len(d.lat))
+	for name, l := range d.lat {
+		stages[name] = l.Snapshot()
+	}
+	return DatabaseStats{
+		Database:  d.name,
+		PlanCache: d.cache.Stats(),
+		Stages:    stages,
+	}
+}

@@ -1,0 +1,133 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+// schedIn builds a synthetic input; the fake estimator only reads
+// OptimizerCost, so no database is needed at the scheduler layer.
+func schedIn(cost float64) costmodel.PlanInput {
+	return costmodel.PlanInput{OptimizerCost: cost}
+}
+
+// TestSchedulerCoalesces fires a burst of concurrent singles and checks
+// they drain in fewer, larger micro-batches through PredictBatch.
+func TestSchedulerCoalesces(t *testing.T) {
+	est := &fakeEstimator{name: "fake", delay: 5 * time.Millisecond}
+	s := newScheduler(32, 50*time.Millisecond)
+	defer s.close()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			v, err := s.predictOne(context.Background(), est, schedIn(float64(c)))
+			if err == nil && v <= 0 {
+				err = errors.New("non-positive prediction")
+			}
+			if err != nil {
+				errCh <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := s.stats()
+	if st.Items != clients {
+		t.Fatalf("items = %d, want %d", st.Items, clients)
+	}
+	if st.Batches >= clients {
+		t.Fatalf("no coalescing: %d batches for %d singles", st.Batches, clients)
+	}
+	if st.MaxBatchSize < 2 || st.Coalesced.Hits == 0 {
+		t.Fatalf("scheduler stats show no shared batches: %+v", st)
+	}
+	if got := est.batchCalls.Load(); got != st.Batches {
+		t.Fatalf("estimator saw %d batch calls, scheduler counted %d", got, st.Batches)
+	}
+}
+
+// TestSchedulerMaxBatchCap checks a full batch drains immediately at the
+// size cap instead of waiting out the deadline.
+func TestSchedulerMaxBatchCap(t *testing.T) {
+	est := &fakeEstimator{name: "fake", delay: time.Millisecond}
+	const cap = 4
+	s := newScheduler(cap, time.Second) // deadline long enough to never fire
+	defer s.close()
+
+	const clients = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := s.predictOne(context.Background(), est, schedIn(float64(c))); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("burst took %v — batches waited for the deadline instead of draining at the cap", elapsed)
+	}
+	st := s.stats()
+	if st.MaxBatchSize > cap {
+		t.Fatalf("batch exceeded cap: %+v", st)
+	}
+	if st.Batches < clients/cap {
+		t.Fatalf("too few batches for the cap: %+v", st)
+	}
+}
+
+func TestSchedulerContextCancel(t *testing.T) {
+	est := &fakeEstimator{name: "fake"}
+	s := newScheduler(8, 10*time.Millisecond)
+	defer s.close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.predictOne(ctx, est, schedIn(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSchedulerCloseRejectsAndDrains(t *testing.T) {
+	est := &fakeEstimator{name: "fake", delay: 2 * time.Millisecond}
+	s := newScheduler(8, 5*time.Millisecond)
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.predictOne(context.Background(), est, schedIn(float64(i)))
+		}(i)
+	}
+	time.Sleep(time.Millisecond)
+	s.close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if _, err := s.predictOne(context.Background(), est, schedIn(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("predict after close = %v, want ErrClosed", err)
+	}
+	s.close() // idempotent
+}

@@ -1,0 +1,548 @@
+// Package serving is the layer between the HTTP handlers (or any other
+// front end) and the costmodel estimators: one Session owns the
+// end-to-end SQL→cost pipeline over a *set* of attached databases — the
+// paper's "one model to rule them all" promise made operational, since a
+// single zero-shot estimator can price queries against every database a
+// deployment hosts.
+//
+// A Session composes four stages:
+//
+//	parse ──▶ optimize ──▶ featurize ──▶ predict
+//
+// The first three stages are per-database (resolved names, physical plan,
+// prediction input) and are skipped entirely on a plan-cache hit: each
+// attached database keeps a costmodel.PlanCache keyed by SQL fingerprint,
+// so repeated query shapes pay only the predict stage. The predict stage
+// routes single-prediction requests through a Scheduler that coalesces
+// concurrent singles into adaptive micro-batches (bounded by a max batch
+// size and a max-wait deadline) draining through Estimator.PredictBatch —
+// p50 single-request traffic gets batched-inference throughput without
+// clients ever forming batches themselves. Explicit batches bypass the
+// scheduler and fan out directly.
+//
+// Every stage records latencies into internal/metrics recorders and the
+// caches record hit rates; Stats snapshots the lot for a /v1/stats
+// endpoint. All Session methods are safe for concurrent use; Attach*
+// calls are expected at startup but may interleave with traffic.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// canceled reports whether err is the caller's own context ending — an
+// impatient client, not a serving failure; it stays out of the error
+// counters so operators can alert on the Errors stat.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// parallelEach runs fn(i) for every i in [0, n) across min(GOMAXPROCS,
+// n) workers and waits for completion — the compensation path when a
+// shared PredictBatch aborts and the survivors re-predict individually.
+func parallelEach(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sentinel error kinds front ends map to status codes (wrapped, test with
+// errors.Is).
+var (
+	// ErrNotFound marks resolution failures: unknown database or model.
+	ErrNotFound = errors.New("not found")
+	// ErrBadQuery marks pipeline failures caused by the statement itself
+	// (malformed SQL, unknown tables/columns, unplannable queries).
+	ErrBadQuery = errors.New("bad query")
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("serving: session closed")
+)
+
+// Config sizes a Session. Zero values select the defaults.
+type Config struct {
+	// MaxBatch caps one coalesced micro-batch (default 64).
+	MaxBatch int
+	// MaxWait is how long the scheduler lets a solo request linger for
+	// companions before draining it (default 500µs). The linger only
+	// happens when the previous batch coalesced — steady solo traffic
+	// pays no added latency. Smaller values favor latency, larger ones
+	// throughput.
+	MaxWait time.Duration
+	// PlanCacheSize bounds each attached database's plan cache (default
+	// costmodel.DefaultPlanCacheSize).
+	PlanCacheSize int
+}
+
+// DefaultMaxBatch and DefaultMaxWait are the scheduler defaults: the
+// queue's backpressure, not the deadline, usually sizes a batch —
+// "adaptive" means batch size follows the instantaneous load (see the
+// scheduler's policy comment).
+const (
+	DefaultMaxBatch = 64
+	DefaultMaxWait  = 500 * time.Microsecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = DefaultMaxWait
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = costmodel.DefaultPlanCacheSize
+	}
+	return c
+}
+
+// Session is the serving pipeline: attached databases, attached
+// estimators, the micro-batch scheduler, and the metrics that observe
+// them.
+type Session struct {
+	cfg   Config
+	sched *scheduler
+
+	mu     sync.RWMutex
+	dbs    map[string]*dbSession
+	models map[string]costmodel.Estimator
+	closed bool
+
+	requests metrics.Counter
+	errs     metrics.Counter
+	predict  metrics.LatencyRecorder
+}
+
+// NewSession returns an empty session; attach at least one database and
+// one model before predicting.
+func NewSession(cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		cfg:    cfg,
+		sched:  newScheduler(cfg.MaxBatch, cfg.MaxWait),
+		dbs:    map[string]*dbSession{},
+		models: map[string]costmodel.Estimator{},
+	}
+	// Micro-batches always flush through the name's currently attached
+	// generation, so a hot-swap takes effect even for already-queued
+	// singles.
+	s.sched.resolve = s.currentModel
+	return s
+}
+
+// currentModel returns the estimator currently attached under name (nil
+// when detached) — the scheduler's flush-time generation lookup.
+func (s *Session) currentModel(name string) costmodel.Estimator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.models[name]
+}
+
+// AttachDatabase registers db under name and builds its per-database
+// pipeline state once: statistics, the optimizer, and an empty plan
+// cache. Every subsequent request against this name reuses that state.
+func (s *Session) AttachDatabase(name string, db *storage.Database) error {
+	if name == "" || db == nil {
+		return fmt.Errorf("serving: AttachDatabase needs a name and a database")
+	}
+	// Fail cheap before the statistics pass; the attach below re-checks
+	// in case of a racing attach.
+	if err := s.checkAttachable(name); err != nil {
+		return err
+	}
+	ds := newDBSession(name, db, s.cfg.PlanCacheSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.dbs[name]; dup {
+		return fmt.Errorf("serving: database %q already attached", name)
+	}
+	s.dbs[name] = ds
+	return nil
+}
+
+// checkAttachable pre-validates an AttachDatabase call so duplicate or
+// post-Close attaches reject before collecting statistics.
+func (s *Session) checkAttachable(name string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.dbs[name]; dup {
+		return fmt.Errorf("serving: database %q already attached", name)
+	}
+	return nil
+}
+
+// Counts returns the number of attached models and databases — the
+// cheap accessor liveness probes want, with no list building or
+// plan-cache locking.
+func (s *Session) Counts() (models, databases int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.models), len(s.dbs)
+}
+
+// AttachModel registers an estimator under its Name(). Re-attaching a
+// name replaces the previous estimator (latest wins), which lets callers
+// hot-swap retrained models without a new session: the scheduler
+// resolves the current generation at every flush, so even already-queued
+// singles drain through the new model and the old one becomes
+// collectable.
+func (s *Session) AttachModel(est costmodel.Estimator) error {
+	if est == nil {
+		return fmt.Errorf("serving: AttachModel needs an estimator")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.models[est.Name()] = est
+	return nil
+}
+
+// database resolves a request's database name; an empty name selects the
+// only attached database when unambiguous.
+func (s *Session) database(name string) (*dbSession, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		if len(s.dbs) == 1 {
+			for _, d := range s.dbs {
+				return d, nil
+			}
+		}
+		return nil, fmt.Errorf("request must name a database (attached: %v): %w", s.databaseNames(), ErrNotFound)
+	}
+	d, ok := s.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("database %q not attached (attached: %v): %w", name, s.databaseNames(), ErrNotFound)
+	}
+	return d, nil
+}
+
+// estimator resolves a request's model name; an empty name selects the
+// only attached model when unambiguous.
+func (s *Session) estimator(name string) (costmodel.Estimator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		if len(s.models) == 1 {
+			for _, est := range s.models {
+				return est, nil
+			}
+		}
+		return nil, fmt.Errorf("request must name a model (attached: %v): %w", s.modelNames(), ErrNotFound)
+	}
+	est, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("model %q not attached (attached: %v): %w", name, s.modelNames(), ErrNotFound)
+	}
+	return est, nil
+}
+
+// databaseNames returns the attached database names sorted; callers hold
+// at least a read lock.
+func (s *Session) databaseNames() []string {
+	out := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// modelNames returns the attached model names sorted; callers hold at
+// least a read lock.
+func (s *Session) modelNames() []string {
+	out := make([]string, 0, len(s.models))
+	for n := range s.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Models lists the attached model names sorted.
+func (s *Session) Models() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.modelNames()
+}
+
+// DatabaseInfo describes one attached database.
+type DatabaseInfo struct {
+	Name      string                   `json:"name"`
+	Schema    string                   `json:"schema"`
+	Tables    int                      `json:"tables"`
+	PlanCache costmodel.PlanCacheStats `json:"plan_cache"`
+}
+
+// Databases lists the attached databases sorted by attach name.
+func (s *Session) Databases() []DatabaseInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DatabaseInfo, 0, len(s.dbs))
+	for _, name := range s.databaseNames() {
+		d := s.dbs[name]
+		out = append(out, DatabaseInfo{
+			Name:      name,
+			Schema:    d.db.Schema.Name,
+			Tables:    len(d.db.Schema.Tables),
+			PlanCache: d.cache.Stats(),
+		})
+	}
+	return out
+}
+
+// Prediction is one answered single-prediction request.
+type Prediction struct {
+	Database      string  `json:"db"`
+	Model         string  `json:"model"`
+	RuntimeSec    float64 `json:"runtime_sec"`
+	OptimizerCost float64 `json:"optimizer_cost"`
+	EstRows       float64 `json:"est_rows"`
+	// PlanCached reports whether the parse→optimize→featurize stages
+	// were skipped by a plan-cache hit.
+	PlanCached bool `json:"plan_cached"`
+}
+
+// Predict runs one SQL statement through the full pipeline against the
+// named database and model (either may be empty when unambiguous). The
+// predict stage coalesces with other concurrent singles via the
+// scheduler.
+func (s *Session) Predict(ctx context.Context, dbName, model, sql string) (Prediction, error) {
+	s.requests.Inc()
+	d, err := s.database(dbName)
+	if err != nil {
+		s.errs.Inc()
+		return Prediction{}, err
+	}
+	est, err := s.estimator(model)
+	if err != nil {
+		s.errs.Inc()
+		return Prediction{}, err
+	}
+	in, cached, err := d.prepare(sql)
+	if err != nil {
+		s.errs.Inc()
+		return Prediction{}, err
+	}
+	start := time.Now()
+	pred, err := s.sched.predictOne(ctx, est, in)
+	s.predict.Observe(time.Since(start))
+	if err != nil {
+		if !canceled(err) {
+			s.errs.Inc()
+		}
+		return Prediction{}, err
+	}
+	return Prediction{
+		Database:      d.name,
+		Model:         est.Name(),
+		RuntimeSec:    pred,
+		OptimizerCost: in.OptimizerCost,
+		EstRows:       in.Plan.EstRows,
+		PlanCached:    cached,
+	}, nil
+}
+
+// BatchItem is one statement's outcome inside a batch: either a runtime
+// prediction or that statement's own error. Err is structured per item so
+// one malformed statement cannot poison the rest of the batch.
+type BatchItem struct {
+	RuntimeSec float64
+	Err        error
+}
+
+// BatchResult is one answered batch request: the resolved database and
+// model names (meaningful when the request omitted them) and the
+// per-statement outcomes, aligned with the request's statements.
+type BatchResult struct {
+	Database string
+	Model    string
+	Items    []BatchItem
+}
+
+// PredictBatch runs many SQL statements through the pipeline and drains
+// them through Estimator.PredictBatch directly (explicit batches skip the
+// scheduler — the caller already did the coalescing). Pipeline failures
+// land in the item's Err and the healthy remainder still predicts. The
+// error return is reserved for request-level failures (unknown
+// database/model, closed session).
+func (s *Session) PredictBatch(ctx context.Context, dbName, model string, sqls []string) (BatchResult, error) {
+	s.requests.Inc()
+	d, err := s.database(dbName)
+	if err != nil {
+		s.errs.Inc()
+		return BatchResult{}, err
+	}
+	est, err := s.estimator(model)
+	if err != nil {
+		s.errs.Inc()
+		return BatchResult{}, err
+	}
+	items := make([]BatchItem, len(sqls))
+	var ins []costmodel.PlanInput
+	var idx []int // ins position -> items position
+	for i, sql := range sqls {
+		in, _, err := d.prepare(sql)
+		if err != nil {
+			items[i].Err = err
+			s.errs.Inc()
+			continue
+		}
+		ins = append(ins, in)
+		idx = append(idx, i)
+	}
+	res := BatchResult{Database: d.name, Model: est.Name(), Items: items}
+	if len(ins) == 0 {
+		return res, nil
+	}
+	start := time.Now()
+	preds, err := est.PredictBatch(ctx, ins)
+	if err != nil {
+		// The shared batch aborted (first bad input wins): isolate the
+		// failure by re-predicting the survivors individually (still
+		// worker-pooled) so each item carries exactly its own error.
+		parallelEach(len(ins), func(j int) {
+			v, perr := est.Predict(ctx, ins[j])
+			if perr != nil && !canceled(perr) {
+				s.errs.Inc()
+			}
+			items[idx[j]] = BatchItem{RuntimeSec: v, Err: perr}
+		})
+	} else {
+		for j, p := range preds {
+			items[idx[j]].RuntimeSec = p
+		}
+	}
+	s.predict.Observe(time.Since(start))
+	return res, nil
+}
+
+// PredictPlanned predicts already-prepared inputs (e.g. executed plans
+// from a collected workload) through the session's predict stage. It
+// exists for callers that own the earlier pipeline stages — the
+// experiment harness plans and executes queries itself to obtain exact
+// cardinalities — but should still share the serving predict path and its
+// metrics. The estimator is passed directly and need not be attached.
+func (s *Session) PredictPlanned(ctx context.Context, est costmodel.Estimator, ins []costmodel.PlanInput) ([]float64, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	s.requests.Inc()
+	start := time.Now()
+	preds, err := est.PredictBatch(ctx, ins)
+	s.predict.Observe(time.Since(start))
+	if err != nil {
+		if !canceled(err) {
+			s.errs.Inc()
+		}
+		return nil, err
+	}
+	return preds, nil
+}
+
+// Stats is the session-wide observability snapshot behind /v1/stats.
+type Stats struct {
+	// Requests and Errors count Predict/PredictBatch/PredictPlanned
+	// calls and their failures (including per-item pipeline failures).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Predict summarizes predict-stage latencies (one observation per
+	// request, singles and batches alike).
+	Predict metrics.LatencySummary `json:"predict"`
+	// Scheduler reports micro-batch coalescing behavior.
+	Scheduler SchedulerStats `json:"scheduler"`
+	// Databases carries per-database pipeline-stage latencies and plan
+	// cache hit rates.
+	Databases []DatabaseStats `json:"databases"`
+	Models    []string        `json:"models"`
+}
+
+// DatabaseStats is one attached database's pipeline view.
+type DatabaseStats struct {
+	Database  string                            `json:"db"`
+	PlanCache costmodel.PlanCacheStats          `json:"plan_cache"`
+	Stages    map[string]metrics.LatencySummary `json:"stages"`
+}
+
+// Stats snapshots the session's counters, stage latencies, cache hit
+// rates and scheduler behavior.
+func (s *Session) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Requests:  s.requests.Value(),
+		Errors:    s.errs.Value(),
+		Predict:   s.predict.Snapshot(),
+		Scheduler: s.sched.stats(),
+		Models:    s.modelNames(),
+	}
+	for _, name := range s.databaseNames() {
+		st.Databases = append(st.Databases, s.dbs[name].stats())
+	}
+	return st
+}
+
+// Close drains the scheduler (queued singles still get answers) and
+// marks the session unusable. It is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.sched.close()
+	return nil
+}
