@@ -196,6 +196,25 @@ func BenchmarkFewShot(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineAdaptation runs E7: an unseen database's workload
+// streamed through a serving Session with feedback, the adaptation loop
+// fine-tuning and hot-swapping in the background of every chunk. The
+// first/last chunk medians are the online analogue of E6's few-shot
+// curve.
+func BenchmarkOnlineAdaptation(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OnlineAdaptation(env, 60, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.First(), "first-chunk-median")
+		b.ReportMetric(res.Last(), "last-chunk-median")
+		b.ReportMetric(float64(res.SwapsAccepted), "swaps-accepted")
+		b.ReportMetric(float64(res.SwapsRejected), "swaps-rejected")
+	}
+}
+
 var (
 	ablOnce sync.Once
 	ablRes  *experiments.AblationResult

@@ -10,6 +10,7 @@
 //	zsdb dbsweep  [-scale small|full]      training-database-count sweep (E5)
 //	zsdb fewshot  [-scale small|full]      few-shot vs from-scratch (E6)
 //	zsdb ablation [-scale small|full]      ablations A1-A3
+//	zsdb online   [-scale small|full]      online adaptation q-error curve (E7)
 //	zsdb all      [-scale small|full]      everything above, in order
 //	zsdb train    [-estimator zeroshot] [-card estimated] -out model.gob
 //	                                       train a registry estimator and save it
@@ -30,9 +31,11 @@
 //	GET  /healthz           liveness + model/database counts
 //	GET  /v1/models         loaded models and attached databases
 //	GET  /v1/databases      per-database schema + plan cache stats
-//	GET  /v1/stats          stage latencies, hit rates, batching behavior
+//	GET  /v1/stats          uptime, stage latencies, hit rates, batching, generations
 //	POST /v1/predict        {"db":"imdb","model":"zeroshot","sql":"SELECT ..."}
 //	POST /v1/predict_batch  {"db":"imdb","model":"zeroshot","sql":["...", ...]}
+//	POST /v1/feedback       {"db":"imdb","fingerprint":"...","actual_runtime_sec":0.25}
+//	GET  /v1/adapt/status   feedback windows, drift, swap counters (-adapt only)
 //
 // "db" and "model" may be omitted when exactly one is attached. Batch
 // replies carry structured per-item errors: one malformed statement does
@@ -40,6 +43,13 @@
 // databases; -batch-max/-batch-wait tune the micro-batcher. SIGINT or
 // SIGTERM drains in-flight requests and queued micro-batches before
 // exiting.
+//
+// -adapt closes the loop between serving and training: observed
+// runtimes POSTed to /v1/feedback join against the plan cache, a drift
+// monitor watches the q-error, and a background worker fine-tunes a
+// clone of the model on the feedback window — hot-swapping it in only
+// when a shadow evaluation on held-out feedback improves. Predictions
+// return a "fingerprint" field clients echo back with the runtime.
 //
 // Models destined for serving should be trained with estimated
 // cardinalities (the train default): at serving time queries are planned
@@ -135,6 +145,15 @@ func run(cmd string, args []string) error {
 			fmt.Print(res.Render())
 			return nil
 		})
+	case "online":
+		return withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.OnlineAdaptation(env, 0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
 	case "all":
 		return withEnv(args, runAll)
 	case "train":
@@ -153,7 +172,7 @@ func run(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|all|train|eval|serve|explain|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|all|train|eval|serve|explain|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.

@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/zeroshot-db/zeroshot/internal/adapt"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
@@ -25,9 +26,13 @@ import (
 // server is the HTTP shim over a serving.Session: handlers decode JSON,
 // call the session, and map its error kinds onto status codes. All
 // serving logic — multi-database pipelines, plan caching, micro-batch
-// coalescing, metrics — lives in internal/serving.
+// coalescing, metrics — lives in internal/serving; the optional online
+// adaptation loop (feedback → drift → fine-tune → hot-swap) lives in
+// internal/adapt.
 type server struct {
 	sess *serving.Session
+	// loop is the online adaptation controller; nil unless -adapt.
+	loop *adapt.Loop
 }
 
 func newServer(sess *serving.Session) *server { return &server{sess: sess} }
@@ -41,6 +46,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
 	return mux
 }
 
@@ -116,12 +123,85 @@ func (s *server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"databases": s.sess.Databases()})
 }
 
+// statsResponse is the /v1/stats body: the session snapshot (uptime,
+// counters, latencies, per-model generations) plus the adaptation
+// counters when -adapt is on.
+type statsResponse struct {
+	serving.Stats
+	Adaptation *adapt.Status `json:"adaptation,omitempty"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, s.sess.Stats())
+	resp := statsResponse{Stats: s.sess.Stats()}
+	if s.loop != nil {
+		st := s.loop.Status()
+		resp.Adaptation = &st
+	}
+	writeJSON(w, resp)
+}
+
+// feedbackRequest is the /v1/feedback body: the observed runtime of an
+// earlier prediction, identified by the fingerprint that prediction
+// returned (or by the statement text, which fingerprints identically).
+type feedbackRequest struct {
+	DB               string  `json:"db"`
+	Fingerprint      string  `json:"fingerprint"`
+	SQL              string  `json:"sql"`
+	ActualRuntimeSec float64 `json:"actual_runtime_sec"`
+}
+
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.loop == nil {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled (restart with -adapt)")
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	fp := req.Fingerprint
+	if fp == "" && req.SQL != "" {
+		fp = costmodel.Fingerprint(req.SQL)
+	}
+	if fp == "" {
+		httpError(w, http.StatusBadRequest, "fingerprint or sql is required")
+		return
+	}
+	if req.ActualRuntimeSec <= 0 {
+		httpError(w, http.StatusBadRequest, "actual_runtime_sec must be positive")
+		return
+	}
+	if err := s.loop.Feedback(r.Context(), req.DB, fp, req.ActualRuntimeSec); err != nil {
+		switch {
+		case errors.Is(err, adapt.ErrNoPlan):
+			httpError(w, http.StatusNotFound, "%v", err)
+		default:
+			sessionError(w, err)
+		}
+		return
+	}
+	writeJSON(w, map[string]any{"status": "accepted", "fingerprint": fp})
+}
+
+func (s *server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.loop == nil {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled (restart with -adapt)")
+		return
+	}
+	writeJSON(w, s.loop.Status())
 }
 
 // predictRequest is the /v1/predict body. DB and Model may be omitted
@@ -132,13 +212,16 @@ type predictRequest struct {
 	SQL   string `json:"sql"`
 }
 
-// predictResponse is the /v1/predict reply.
+// predictResponse is the /v1/predict reply. Fingerprint is the handle a
+// client hands back to /v1/feedback once it observes the query's actual
+// runtime.
 type predictResponse struct {
 	DB            string  `json:"db"`
 	Model         string  `json:"model"`
 	RuntimeSec    float64 `json:"runtime_sec"`
 	OptimizerCost float64 `json:"optimizer_cost"`
 	EstRows       float64 `json:"est_rows"`
+	Fingerprint   string  `json:"fingerprint"`
 	PlanCached    bool    `json:"plan_cached"`
 }
 
@@ -167,6 +250,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		RuntimeSec:    pred.RuntimeSec,
 		OptimizerCost: pred.OptimizerCost,
 		EstRows:       pred.EstRows,
+		Fingerprint:   pred.Fingerprint,
 		PlanCached:    pred.PlanCached,
 	})
 }
@@ -312,6 +396,35 @@ func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths
 	return sess, nil
 }
 
+// adaptableModel resolves which attached model the adaptation loop
+// should own: the named one, or — when the flag is empty — the single
+// attached model that supports online adaptation (Clone + FineTune).
+func adaptableModel(sess *serving.Session, name string) (string, error) {
+	if name != "" {
+		return name, nil
+	}
+	var candidates []string
+	for _, n := range sess.Models() {
+		est, err := sess.Model(n)
+		if err != nil {
+			return "", err
+		}
+		_, canClone := est.(costmodel.Cloner)
+		_, canTune := est.(costmodel.FineTuner)
+		if canClone && canTune {
+			candidates = append(candidates, n)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return "", fmt.Errorf("serve: -adapt needs a model supporting Clone and FineTune; none of %v does", sess.Models())
+	case 1:
+		return candidates[0], nil
+	default:
+		return "", fmt.Errorf("serve: several models support adaptation (%v); pick one with -adapt-model", candidates)
+	}
+}
+
 // serveUntilSignal runs the HTTP server until a shutdown signal arrives,
 // then drains: stop accepting connections, let in-flight handlers finish
 // (bounded by drainTimeout), and close the session so queued micro-batches
@@ -346,6 +459,10 @@ func runServe(args []string) error {
 	batchWait := fs.Duration("batch-wait", serving.DefaultMaxWait, "micro-batch max-wait deadline")
 	planCache := fs.Int("plancache", costmodel.DefaultPlanCacheSize, "per-database plan cache entries")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown timeout")
+	adaptOn := fs.Bool("adapt", false, "enable online adaptation: /v1/feedback runtimes fine-tune the model in the background and hot-swap improved generations")
+	adaptModel := fs.String("adapt-model", "", "model to adapt (default: the sole attached model supporting Clone+FineTune)")
+	adaptWindow := fs.Int("adapt-window", 0, "per-database feedback window size (0 = adapt default)")
+	adaptMin := fs.Int("adapt-min-samples", 0, "fewest buffered samples a fine-tune runs on (0 = adapt default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,12 +477,33 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv := newServer(sess)
+	if *adaptOn {
+		model, err := adaptableModel(sess, *adaptModel)
+		if err != nil {
+			return err
+		}
+		loop, err := adapt.New(sess, adapt.Config{
+			Model:      model,
+			WindowSize: *adaptWindow,
+			MinSamples: *adaptMin,
+		})
+		if err != nil {
+			return err
+		}
+		loop.Start()
+		// Closed after the serve loop drains; a sweep racing the session
+		// shutdown fails its AttachModel with ErrClosed and is discarded.
+		defer loop.Close()
+		srv.loop = loop
+		fmt.Fprintf(os.Stderr, "online adaptation enabled for %s (POST /v1/feedback)\n", model)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           newServer(sess).mux(),
+		Handler:           srv.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	sigs := make(chan os.Signal, 1)

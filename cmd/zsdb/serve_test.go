@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/zeroshot-db/zeroshot/internal/adapt"
 	"github.com/zeroshot-db/zeroshot/internal/collect"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
@@ -368,6 +369,17 @@ func TestServeStats(t *testing.T) {
 	if st.Requests != 3 || st.Errors != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.UptimeSec <= 0 {
+		t.Fatalf("uptime_sec = %v, want > 0", st.UptimeSec)
+	}
+	if len(st.Models) != 2 {
+		t.Fatalf("models = %+v, want 2 generation entries", st.Models)
+	}
+	for _, m := range st.Models {
+		if m.Generation != 1 || m.LastSwap.IsZero() {
+			t.Fatalf("model stats = %+v, want generation 1 with a swap time", m)
+		}
+	}
 	if st.Scheduler.Items != 3 || st.Predict.Count != 3 {
 		t.Fatalf("scheduler/predict stats = %+v / %+v", st.Scheduler, st.Predict)
 	}
@@ -385,6 +397,128 @@ func TestServeStats(t *testing.T) {
 	}
 	if imdbStats.Stages["parse"].Count != 1 {
 		t.Fatalf("parse stage = %+v, want exactly one run", imdbStats.Stages)
+	}
+}
+
+// newAdaptTestServer is a test server with the online adaptation loop
+// attached to the zero-shot model (no background worker — tests drive
+// sweeps explicitly when they need one).
+func newAdaptTestServer(t *testing.T) (*httptest.Server, *adapt.Loop) {
+	t.Helper()
+	sess := newTestSession(t, serving.Config{})
+	loop, err := adapt.New(sess, adapt.Config{Model: costmodel.NameZeroShot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loop.Close)
+	srv := newServer(sess)
+	srv.loop = loop
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, loop
+}
+
+// TestServeFeedbackAndAdaptStatus drives the feedback surface end to
+// end: predictions return fingerprints, feedback joins against them (or
+// against the raw SQL), bad feedback is rejected with the right codes,
+// and /v1/adapt/status plus /v1/stats expose the loop's counters.
+func TestServeFeedbackAndAdaptStatus(t *testing.T) {
+	ts, _ := newAdaptTestServer(t)
+
+	// Feedback for a never-predicted statement cannot join.
+	resp, body := postJSON(t, ts.URL+"/v1/feedback",
+		feedbackRequest{DB: "imdb", SQL: "SELECT COUNT(*) FROM movie_companies", ActualRuntimeSec: 0.5})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unjoined feedback = %d body %v, want 404", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/predict",
+		predictRequest{DB: "imdb", Model: costmodel.NameZeroShot, SQL: testSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d body %v", resp.StatusCode, body)
+	}
+	var fp string
+	if err := json.Unmarshal(body["fingerprint"], &fp); err != nil || fp == "" {
+		t.Fatalf("fingerprint = %s (err %v)", body["fingerprint"], err)
+	}
+
+	// Feedback by fingerprint, then by SQL text (same statement: the
+	// fingerprints must agree).
+	resp, body = postJSON(t, ts.URL+"/v1/feedback",
+		feedbackRequest{DB: "imdb", Fingerprint: fp, ActualRuntimeSec: 0.25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback by fingerprint = %d body %v", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/feedback",
+		feedbackRequest{DB: "imdb", SQL: "  select COUNT(*) from title WHERE production_year > 50", ActualRuntimeSec: 0.25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback by SQL = %d body %v (keyword-case variants must join)", resp.StatusCode, body)
+	}
+
+	// Validation.
+	for name, req := range map[string]feedbackRequest{
+		"no fingerprint or sql": {DB: "imdb", ActualRuntimeSec: 0.5},
+		"non-positive runtime":  {DB: "imdb", Fingerprint: fp},
+		"unknown db":            {DB: "nope", Fingerprint: fp, ActualRuntimeSec: 0.5},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/feedback", req)
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d body %v", name, resp.StatusCode, body)
+		}
+	}
+
+	var st adapt.Status
+	if resp := getJSON(t, ts.URL+"/v1/adapt/status", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/adapt/status = %d", resp.StatusCode)
+	}
+	if st.Model != costmodel.NameZeroShot || st.Feedback != 2 || st.JoinMisses != 1 {
+		t.Fatalf("adapt status = %+v, want 2 feedbacks / 1 join miss on zeroshot", st)
+	}
+	if len(st.Windows) != 1 || st.Windows[0].Database != "imdb" || st.Windows[0].Pending != 2 {
+		t.Fatalf("windows = %+v", st.Windows)
+	}
+
+	// /v1/stats carries the adaptation block alongside the session stats.
+	var full statsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &full); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", resp.StatusCode)
+	}
+	if full.Adaptation == nil || full.Adaptation.Feedback != 2 {
+		t.Fatalf("stats adaptation = %+v", full.Adaptation)
+	}
+}
+
+// TestServeAdaptDisabled checks the surface degrades cleanly without
+// -adapt: feedback and status 404, stats has no adaptation block.
+func TestServeAdaptDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/feedback",
+		feedbackRequest{DB: "imdb", SQL: testSQL, ActualRuntimeSec: 0.5})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/feedback without -adapt = %d, want 404", resp.StatusCode)
+	}
+	var st map[string]json.RawMessage
+	if resp := getJSON(t, ts.URL+"/v1/adapt/status", &st); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/adapt/status without -adapt = %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", resp.StatusCode)
+	}
+	if _, ok := st["adaptation"]; ok {
+		t.Fatal("stats carries an adaptation block without -adapt")
+	}
+}
+
+// TestAdaptableModel checks the -adapt-model default resolution: the
+// zero-shot model is the only adaptable one in the fixture.
+func TestAdaptableModel(t *testing.T) {
+	sess := newTestSession(t, serving.Config{})
+	name, err := adaptableModel(sess, "")
+	if err != nil || name != costmodel.NameZeroShot {
+		t.Fatalf("adaptableModel = %q (err %v), want zeroshot", name, err)
+	}
+	if name, err = adaptableModel(sess, "anything"); err != nil || name != "anything" {
+		t.Fatalf("explicit name not honored: %q (err %v)", name, err)
 	}
 }
 

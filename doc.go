@@ -20,10 +20,16 @@
 //     batched inference
 //   - internal/zeroshot — the zero-shot cost model (train / predict /
 //     fine-tune / save / load)
+//   - internal/adapt — online adaptation: serve-time feedback joined
+//     against retained plans, q-error drift detection, and a background
+//     worker that fine-tunes a clone of the serving model and hot-swaps
+//     it when a shadow evaluation improves (the few-shot mode, closed
+//     into a serving loop)
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation by iterating over registry estimators
 //   - cmd/zsdb — the experiment driver CLI and the `zsdb serve` HTTP
-//     prediction service (POST /v1/predict, /v1/predict_batch)
+//     prediction service (POST /v1/predict, /v1/predict_batch, and the
+//     -adapt feedback loop via /v1/feedback)
 //   - examples/ — runnable walkthroughs (quickstart, index advisor,
 //     few-shot adaptation, learned join ordering)
 //

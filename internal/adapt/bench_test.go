@@ -1,0 +1,112 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *storage.Database
+	benchEst  costmodel.Estimator
+	benchSQL  []string
+	benchAct  []float64
+	benchErr  error
+)
+
+// benchSetup trains a small real zero-shot estimator on one database and
+// prepares a feedback stream (SQL texts plus their simulated runtimes).
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		db, err := datagen.IMDBLike(0.05)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		recs, err := collect.Run(db, collect.Options{Queries: 48, Seed: 41})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		est, err := costmodel.New(costmodel.NameZeroShot,
+			costmodel.Options{Hidden: 12, Epochs: 2, Card: encoding.CardEstimated})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := est.Fit(context.Background(), costmodel.FromRecords(db, recs)); err != nil {
+			benchErr = err
+			return
+		}
+		benchDB = db
+		benchEst = est
+		for _, r := range recs[:32] {
+			benchSQL = append(benchSQL, r.Query.SQL())
+			benchAct = append(benchAct, r.RuntimeSec)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+// BenchmarkAdaptCycle measures one full adaptation cycle on the real
+// zero-shot model: 32 feedback ingestions (predict + join + drift
+// update) followed by a Sweep that clones, fine-tunes, shadow-evaluates
+// and possibly hot-swaps. This is the background cost one adaptation
+// charges a serving process.
+func BenchmarkAdaptCycle(b *testing.B) {
+	benchSetup(b)
+	sess := serving.NewSession(serving.Config{})
+	defer sess.Close()
+	if err := sess.AttachDatabase("target", benchDB); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.AttachModel(benchEst); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the plan cache so feedback joins resolve, and keep the
+	// fingerprints.
+	fps := make([]string, len(benchSQL))
+	for i, sql := range benchSQL {
+		p, err := sess.Predict(ctx, "target", "", sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fps[i] = p.Fingerprint
+	}
+	loop, err := New(sess, Config{
+		Model:        costmodel.NameZeroShot,
+		WindowSize:   32,
+		MinSamples:   16,
+		FreshTrigger: 32, // a full window always triggers
+		Epochs:       2,
+		Backoff:      1, // rejected swaps must not suppress later iterations
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range fps {
+			if err := loop.Feedback(ctx, "target", fps[j], benchAct[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		loop.Sweep(ctx)
+	}
+	b.StopTimer()
+	st := loop.Status()
+	b.ReportMetric(float64(st.SwapsAccepted)/float64(b.N), "swaps-accepted/cycle")
+	b.ReportMetric(float64(st.SwapsRejected)/float64(b.N), "swaps-rejected/cycle")
+}

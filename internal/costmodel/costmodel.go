@@ -125,6 +125,16 @@ type FineTuner interface {
 	FineTune(ctx context.Context, samples []Sample, epochs int, lr float64) (*FitReport, error)
 }
 
+// Cloner is the optional capability of estimators that can produce a
+// deep, independently trainable copy of themselves. The online
+// adaptation subsystem depends on it: Fit and FineTune must not run
+// concurrently with inference, so background fine-tuning clones the
+// serving generation, trains the clone, and hot-swaps it in — the
+// attached estimator is never mutated while it predicts.
+type Cloner interface {
+	Clone() (Estimator, error)
+}
+
 // Options sizes a fresh estimator from the registry. Each adapter reads
 // the fields it understands and ignores the rest; zero values select the
 // adapter's defaults.

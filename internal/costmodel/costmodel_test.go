@@ -230,3 +230,63 @@ func TestFineTuneCapability(t *testing.T) {
 		}
 	}
 }
+
+// TestCloneCapability checks the optional Cloner interface the adaptation
+// subsystem depends on: the clone predicts identically to the original,
+// and fine-tuning the clone never moves the original's predictions —
+// that independence is what makes background fine-tuning safe while the
+// original keeps serving.
+func TestCloneCapability(t *testing.T) {
+	f := sharedFixture(t)
+	ctx := context.Background()
+	zs, err := New(NameZeroShot, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zs.Fit(ctx, f.train); err != nil {
+		t.Fatal(err)
+	}
+	cloner, ok := zs.(Cloner)
+	if !ok {
+		t.Fatal("zeroshot does not implement Cloner")
+	}
+	clone, err := cloner.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Name() != zs.Name() {
+		t.Fatalf("clone name %q, want %q", clone.Name(), zs.Name())
+	}
+	if zsClone, ok := clone.(*ZeroShot); !ok || zsClone.Card() != zs.(*ZeroShot).Card() {
+		t.Fatalf("clone lost the cardinality source")
+	}
+	in := f.eval[0].PlanInput
+	before, err := zs.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clonePred, err := clone.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-clonePred) > 1e-12 {
+		t.Fatalf("clone predicts %v, original %v", clonePred, before)
+	}
+	if _, err := clone.(FineTuner).FineTune(ctx, f.eval, 3, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	after, err := zs.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("fine-tuning the clone moved the original: %v -> %v", before, after)
+	}
+	tuned, err := clone.Predict(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned == clonePred {
+		t.Fatal("fine-tuning did not change the clone's prediction (suspicious for a shared-weights bug)")
+	}
+}

@@ -37,14 +37,84 @@ func (c *featCache) get(db *storage.Database) (*encoding.Vocab, *stats.DBStats) 
 	return en.vocab, en.st
 }
 
-// Fingerprint canonicalizes one SQL text into a plan-cache key: it
-// collapses all whitespace runs to single spaces and trims the ends, so
-// reformattings of the same statement share a cache entry. Identifier and
-// keyword case is preserved — two statements that differ beyond layout
-// never collide, which keeps cached plans (whose cost estimates depend on
-// literal values) exact.
+// sqlKeywords are the words Fingerprint case-normalizes (the SQL subset
+// this repository parses plus the usual neighbors, so harmless
+// reformattings of future grammar share entries too). Lowercase keys.
+var sqlKeywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"and": true, "or": true, "not": true, "in": true, "between": true,
+	"like": true, "as": true, "on": true, "join": true, "inner": true,
+	"left": true, "right": true, "outer": true, "group": true, "by": true,
+	"having": true, "order": true, "asc": true, "desc": true, "limit": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"null": true, "is": true,
+}
+
+// Fingerprint canonicalizes one SQL text into a plan-cache key: outside
+// string literals it collapses whitespace runs to single spaces, trims
+// the ends, and uppercases SQL keywords — so reformattings and
+// keyword-case variants (`SELECT …` vs `select …`) of the same statement
+// share a cache entry. Everything else is preserved: identifiers keep
+// their case (the parser lowercases them itself, so distinct statements
+// stay distinct), and quoted literals are copied verbatim — whitespace
+// included — because cached plans embed literal-dependent selectivity
+// and cost estimates, so `'a b'` and `'a  b'` (or `'abc'` and `'ABC'`)
+// must never collide.
 func Fingerprint(sql string) string {
-	return strings.Join(strings.Fields(sql), " ")
+	var b strings.Builder
+	b.Grow(len(sql))
+	for i := 0; i < len(sql); {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			// String literal: copy through the closing quote untouched.
+			j := i + 1
+			for j < len(sql) && sql[j] != '\'' {
+				j++
+			}
+			if j < len(sql) {
+				j++
+			}
+			b.WriteString(sql[i:j])
+			i = j
+		case isSpaceByte(c):
+			for i < len(sql) && isSpaceByte(sql[i]) {
+				i++
+			}
+			// One space per run; leading runs vanish, a trailing run is
+			// trimmed after the loop.
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+		case isWordByte(c):
+			j := i
+			for j < len(sql) && isWordByte(sql[j]) {
+				j++
+			}
+			word := sql[i:j]
+			if sqlKeywords[strings.ToLower(word)] {
+				b.WriteString(strings.ToUpper(word))
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return strings.TrimSuffix(b.String(), " ")
+}
+
+// isWordByte reports whether b can be part of a SQL word (keyword or
+// identifier).
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+// isSpaceByte matches the whitespace strings.Fields would split on.
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
 }
 
 // PlanCacheStats is a point-in-time view of one PlanCache.
@@ -108,6 +178,21 @@ func (c *PlanCache) Get(fp string) (PlanInput, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).in, true
+}
+
+// Peek returns the cached input for a fingerprint without promoting it
+// in the LRU order or touching the hit/miss counters. The feedback path
+// of the adaptation subsystem joins observed runtimes against retained
+// plans this way — a feedback lookup is bookkeeping, not traffic, and
+// must not distort the cache's stats or eviction behavior.
+func (c *PlanCache) Peek(fp string) (PlanInput, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return PlanInput{}, false
+	}
 	return el.Value.(*planCacheEntry).in, true
 }
 

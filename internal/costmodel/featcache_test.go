@@ -7,16 +7,90 @@ import (
 )
 
 func TestFingerprint(t *testing.T) {
-	a := Fingerprint("SELECT COUNT(*)   FROM title\n\tWHERE production_year > 50")
-	b := Fingerprint("  SELECT COUNT(*) FROM title WHERE production_year > 50 ")
-	if a != b {
-		t.Fatalf("reformatted statements fingerprint differently:\n%q\n%q", a, b)
+	tests := []struct {
+		name string
+		a, b string
+		same bool
+	}{
+		{
+			name: "whitespace reformatting collapses",
+			a:    "SELECT COUNT(*)   FROM title\n\tWHERE production_year > 50",
+			b:    "  SELECT COUNT(*) FROM title WHERE production_year > 50 ",
+			same: true,
+		},
+		{
+			// Different literals must not collide: cached plans embed
+			// literal-dependent cost estimates.
+			name: "different numeric literals stay distinct",
+			a:    "SELECT COUNT(*) FROM title WHERE production_year > 50",
+			b:    "SELECT COUNT(*) FROM title WHERE production_year > 51",
+			same: false,
+		},
+		{
+			name: "keyword case normalizes",
+			a:    "select count(*) from title where production_year > 50",
+			b:    "SELECT COUNT(*) FROM title WHERE production_year > 50",
+			same: true,
+		},
+		{
+			name: "mixed keyword case normalizes",
+			a:    "Select Count(*) From title Where production_year > 50 And id < 9",
+			b:    "SELECT COUNT(*) FROM title WHERE production_year > 50 AND id < 9",
+			same: true,
+		},
+		{
+			name: "identifier case is preserved",
+			a:    "SELECT COUNT(*) FROM Title",
+			b:    "SELECT COUNT(*) FROM title",
+			same: false,
+		},
+		{
+			// A keyword inside a quoted literal is data, not syntax:
+			// its case must survive so distinct literals never share a
+			// cached plan.
+			name: "quoted literal stays case-sensitive",
+			a:    "SELECT COUNT(*) FROM title WHERE kind = 'select'",
+			b:    "SELECT COUNT(*) FROM title WHERE kind = 'SELECT'",
+			same: false,
+		},
+		{
+			name: "keyword case outside literal still normalizes around quotes",
+			a:    "select count(*) from title where kind = 'Movie'",
+			b:    "SELECT COUNT(*) FROM title WHERE kind = 'Movie'",
+			same: true,
+		},
+		{
+			// Whitespace collapsing must also stop at the quote: two
+			// literals differing only in internal spacing are different
+			// values.
+			name: "whitespace inside literal is preserved",
+			a:    "SELECT COUNT(*) FROM title WHERE kind = 'a  b'",
+			b:    "SELECT COUNT(*) FROM title WHERE kind = 'a b'",
+			same: false,
+		},
+		{
+			name: "whitespace around literal still collapses",
+			a:    "SELECT COUNT(*) FROM title  WHERE kind =  'a b'  ",
+			b:    "SELECT COUNT(*) FROM title WHERE kind = 'a b'",
+			same: true,
+		},
+		{
+			name: "unterminated literal is copied verbatim",
+			a:    "SELECT COUNT(*) FROM title WHERE kind = 'sel",
+			b:    "SELECT COUNT(*) FROM title WHERE kind = 'SEL",
+			same: false,
+		},
 	}
-	// Different literals must not collide: cached plans embed
-	// literal-dependent cost estimates.
-	c := Fingerprint("SELECT COUNT(*) FROM title WHERE production_year > 51")
-	if a == c {
-		t.Fatal("statements with different literals share a fingerprint")
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fa, fb := Fingerprint(tt.a), Fingerprint(tt.b)
+			if tt.same && fa != fb {
+				t.Fatalf("fingerprints differ:\n%q\n%q", fa, fb)
+			}
+			if !tt.same && fa == fb {
+				t.Fatalf("fingerprints collide: %q", fa)
+			}
+		})
 	}
 }
 
@@ -55,6 +129,33 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 	if st := c.Stats(); st.Size != 2 {
 		t.Fatalf("refresh grew cache: %+v", st)
+	}
+}
+
+// TestPlanCachePeek checks Peek neither promotes an entry nor counts as
+// traffic — the feedback join must be invisible to cache stats and LRU
+// eviction order.
+func TestPlanCachePeek(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", PlanInput{OptimizerCost: 1})
+	c.Put("b", PlanInput{OptimizerCost: 2})
+	if in, ok := c.Peek("a"); !ok || in.OptimizerCost != 1 {
+		t.Fatalf("peek a = %+v ok=%v", in, ok)
+	}
+	if _, ok := c.Peek("missing"); ok {
+		t.Fatal("peek hit a missing entry")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("peek counted as traffic: %+v", st)
+	}
+	// a was peeked but not promoted: inserting c must evict a (the LRU),
+	// not b.
+	c.Put("c", PlanInput{OptimizerCost: 3})
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("peek promoted entry a in LRU order")
+	}
+	if _, ok := c.Peek("b"); !ok {
+		t.Fatal("b evicted instead of un-promoted a")
 	}
 }
 

@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -107,6 +108,23 @@ func (z *ZeroShot) FineTune(ctx context.Context, samples []Sample, epochs int, l
 		return nil, err
 	}
 	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss}, nil
+}
+
+// Clone implements Cloner: a deep copy via a save/load round trip, so
+// the clone shares no weights (or optimizer state) with the original and
+// can fine-tune while the original keeps serving. The clone keeps the
+// architecture and cardinality source; training hyperparameters revert
+// to defaults, which FineTune's explicit epochs/lr arguments override.
+func (z *ZeroShot) Clone() (Estimator, error) {
+	var buf bytes.Buffer
+	if err := z.Save(&buf); err != nil {
+		return nil, fmt.Errorf("zeroshot clone: %w", err)
+	}
+	est, err := loadZeroShot(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("zeroshot clone: %w", err)
+	}
+	return est, nil
 }
 
 // Predict implements Estimator.

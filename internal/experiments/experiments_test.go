@@ -284,6 +284,47 @@ func TestFewShot(t *testing.T) {
 	}
 }
 
+// TestOnlineAdaptation streams an unseen database's workload through a
+// Session with feedback: every chunk must produce a curve point, every
+// full chunk must attempt an adaptation, and accepted swaps must be
+// visible as generation bumps.
+func TestOnlineAdaptation(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := OnlineAdaptation(env, 60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points for 60 queries at chunk 20", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.Median < 1 {
+			t.Fatalf("point %d median q-error %v < 1", i, p.Median)
+		}
+		if p.Generation < 1 {
+			t.Fatalf("point %d generation %d", i, p.Generation)
+		}
+	}
+	// Every full chunk triggers a fine-tune; each either swaps or is
+	// rejected by the shadow eval.
+	if got := res.SwapsAccepted + res.SwapsRejected; got != 3 {
+		t.Fatalf("swap attempts = %d (accepted %d rejected %d), want 3",
+			got, res.SwapsAccepted, res.SwapsRejected)
+	}
+	last := res.Points[len(res.Points)-1]
+	if want := res.SwapsAccepted + 1; last.Generation != want {
+		t.Fatalf("final generation %d, want %d (1 + %d accepted swaps)",
+			last.Generation, want, res.SwapsAccepted)
+	}
+	if !strings.Contains(res.Render(), "online adaptation") {
+		t.Error("Render() missing label")
+	}
+	// Bad stream sizing is rejected.
+	if _, err := OnlineAdaptation(env, 10, 20); err == nil {
+		t.Fatal("stream shorter than one chunk accepted")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	env := sharedEnv(t)
 	res, err := Ablations(env)

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/adapt"
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
+)
+
+// OnlinePoint is one chunk of the streamed workload: the median q-error
+// of the predictions served during the chunk and the estimator
+// generation in place after the chunk's adaptation sweep.
+type OnlinePoint struct {
+	Queries    int     // queries streamed so far
+	Median     float64 // median q-error of this chunk's served predictions
+	Generation int64   // serving generation after the chunk's sweep
+}
+
+// OnlineResult is the online-adaptation experiment (E7): the q-error
+// over time of a serving Session on an unseen database whose observed
+// runtimes feed the adaptation loop — the serving-time analogue of the
+// paper's few-shot experiment (E6), which fine-tunes offline.
+type OnlineResult struct {
+	Points        []OnlinePoint
+	SwapsAccepted int64
+	SwapsRejected int64
+}
+
+// First and Last return the opening and closing chunk medians — the
+// "before adaptation" and "after adaptation" ends of the curve.
+func (r *OnlineResult) First() float64 { return r.Points[0].Median }
+func (r *OnlineResult) Last() float64  { return r.Points[len(r.Points)-1].Median }
+
+// OnlineAdaptation streams an unseen database's workload through a
+// serving Session with feedback enabled: every query is predicted
+// through the full SQL pipeline (estimated cardinalities — serve-time
+// plans are never executed), its simulated true runtime is fed back,
+// and after every chunk the adaptation loop sweeps — fine-tuning a
+// clone on the buffered window and hot-swapping it only when the shadow
+// eval improves. queries and chunk default to 120 and 24.
+func OnlineAdaptation(env *Env, queries, chunk int) (*OnlineResult, error) {
+	if chunk <= 0 {
+		chunk = 24
+	}
+	if queries <= 0 {
+		queries = 5 * chunk
+	}
+	if queries < chunk {
+		return nil, fmt.Errorf("experiments: online stream of %d shorter than one chunk of %d", queries, chunk)
+	}
+	ctx := context.Background()
+
+	// The pretrained zero-shot model: trained on the multi-database
+	// corpus only, never on the evaluation database. Estimated
+	// cardinalities — the serving pipeline plans but does not execute.
+	est, err := env.fitZeroShot(encoding.CardEstimated, false)
+	if err != nil {
+		return nil, err
+	}
+	// The streamed workload: fresh executions on the unseen database,
+	// disjoint from every other experiment's records by seed. Their
+	// simulated runtimes are the feedback ground truth.
+	recs, err := collect.Run(env.EvalDB, collect.Options{
+		Queries: queries,
+		Seed:    env.Cfg.Seed + 777_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sess := serving.NewSession(serving.Config{})
+	defer sess.Close()
+	if err := sess.AttachDatabase("target", env.EvalDB); err != nil {
+		return nil, err
+	}
+	if err := sess.AttachModel(est); err != nil {
+		return nil, err
+	}
+	loop, err := adapt.New(sess, adapt.Config{
+		Model:        costmodel.NameZeroShot,
+		WindowSize:   chunk,
+		MinSamples:   chunk / 2,
+		FreshTrigger: chunk, // every full chunk adapts, drifting or not
+		Epochs:       6,
+		Backoff:      1, // a rejected chunk must not block the next one
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer loop.Close()
+
+	res := &OnlineResult{}
+	var chunkQ []float64
+	for i, r := range recs {
+		p, err := sess.Predict(ctx, "target", "", r.Query.SQL())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: online predict %d: %w", i, err)
+		}
+		chunkQ = append(chunkQ, metrics.QError(p.RuntimeSec, r.RuntimeSec))
+		if err := loop.Feedback(ctx, "target", p.Fingerprint, r.RuntimeSec); err != nil {
+			return nil, fmt.Errorf("experiments: online feedback %d: %w", i, err)
+		}
+		if len(chunkQ) == chunk {
+			loop.Sweep(ctx)
+			gen, _, err := sess.ModelGeneration(costmodel.NameZeroShot)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, OnlinePoint{
+				Queries:    i + 1,
+				Median:     metrics.Median(chunkQ),
+				Generation: gen,
+			})
+			chunkQ = chunkQ[:0]
+		}
+	}
+	st := loop.Status()
+	res.SwapsAccepted = st.SwapsAccepted
+	res.SwapsRejected = st.SwapsRejected
+	return res, nil
+}
+
+// Render prints the q-error-over-time curve.
+func (r *OnlineResult) Render() string {
+	var b strings.Builder
+	b.WriteString("== online adaptation: q-error over the served stream (unseen db) ==\n")
+	fmt.Fprintf(&b, "%10s %16s %12s\n", "#queries", "chunk median", "generation")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %16.2f %12d\n", p.Queries, p.Median, p.Generation)
+	}
+	fmt.Fprintf(&b, "hot-swaps: %d accepted, %d rejected\n", r.SwapsAccepted, r.SwapsRejected)
+	return b.String()
+}

@@ -65,32 +65,31 @@ func (h *HitCounter) Snapshot() HitRate {
 const latencyWindow = 1024
 
 // LatencyRecorder records operation latencies: lifetime count/mean/max
-// plus p50/p95 over a sliding window of the most recent observations.
+// plus p50/p95 over a sliding Window of the most recent observations.
+// The zero value is ready to use.
 type LatencyRecorder struct {
-	mu     sync.Mutex
-	window [latencyWindow]float64 // seconds, ring buffer
-	next   int                    // ring write position
-	filled int                    // valid entries in window
-	count  int64
-	sum    float64
-	max    float64
+	mu    sync.Mutex
+	w     *Window // reservoir for the quantiles, allocated on first use
+	count int64
+	sum   float64
+	max   float64
 }
 
 // Observe records one operation latency.
 func (l *LatencyRecorder) Observe(d time.Duration) {
 	sec := d.Seconds()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.window[l.next] = sec
-	l.next = (l.next + 1) % latencyWindow
-	if l.filled < latencyWindow {
-		l.filled++
+	if l.w == nil {
+		l.w = NewWindow(latencyWindow)
 	}
+	w := l.w
 	l.count++
 	l.sum += sec
 	if sec > l.max {
 		l.max = sec
 	}
+	l.mu.Unlock()
+	w.Observe(sec)
 }
 
 // LatencySummary is a point-in-time view of a LatencyRecorder, in
@@ -107,18 +106,18 @@ type LatencySummary struct {
 // window; count, mean and max cover all observations ever recorded.
 func (l *LatencyRecorder) Snapshot() LatencySummary {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.count == 0 {
+	w, count, sum, max := l.w, l.count, l.sum, l.max
+	l.mu.Unlock()
+	if count == 0 {
 		return LatencySummary{}
 	}
-	recent := make([]float64, l.filled)
-	copy(recent, l.window[:l.filled])
+	ws := w.Snapshot()
 	const toMs = 1e3
 	return LatencySummary{
-		Count:  l.count,
-		MeanMs: l.sum / float64(l.count) * toMs,
-		P50Ms:  Median(recent) * toMs,
-		P95Ms:  Percentile(recent, 0.95) * toMs,
-		MaxMs:  l.max * toMs,
+		Count:  count,
+		MeanMs: sum / float64(count) * toMs,
+		P50Ms:  ws.P50 * toMs,
+		P95Ms:  ws.P95 * toMs,
+		MaxMs:  max * toMs,
 	}
 }

@@ -1,0 +1,86 @@
+package metrics
+
+import "sync"
+
+// Window is a bounded sliding window of float64 observations with
+// quantile snapshots — the drift-monitor primitive of the adaptation
+// subsystem: each feedback sample's q-error lands in a per-database
+// Window, and the adaptation trigger reads its p50/p95. Like
+// LatencyRecorder it keeps lifetime totals (count, max) alongside the
+// bounded reservoir the quantiles come from. Safe for concurrent use.
+type Window struct {
+	mu     sync.Mutex
+	buf    []float64 // ring buffer
+	next   int       // ring write position
+	filled int       // valid entries
+	count  int64     // lifetime observations
+	max    float64   // lifetime maximum
+}
+
+// DefaultWindowSize bounds a Window when the caller passes a
+// non-positive capacity.
+const DefaultWindowSize = 256
+
+// NewWindow returns an empty window holding at most capacity recent
+// observations (DefaultWindowSize if capacity <= 0).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = DefaultWindowSize
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Observe records one observation.
+func (w *Window) Observe(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % len(w.buf)
+	if w.filled < len(w.buf) {
+		w.filled++
+	}
+	w.count++
+	if x > w.max {
+		w.max = x
+	}
+}
+
+// Reset empties the reservoir so quantiles restart from fresh
+// observations; lifetime count and max are kept. The adaptation loop
+// resets a database's window after draining it — post-swap drift must be
+// measured against the new generation, not the errors that triggered the
+// swap.
+func (w *Window) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.next = 0
+	w.filled = 0
+}
+
+// WindowSummary is a point-in-time view of a Window.
+type WindowSummary struct {
+	// Count is the lifetime observation count; Size is the current
+	// reservoir occupancy the quantiles are computed over.
+	Count int64   `json:"count"`
+	Size  int     `json:"size"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot summarizes the window. Quantiles cover the current reservoir;
+// count and max cover all observations ever recorded. An empty reservoir
+// yields zero quantiles.
+func (w *Window) Snapshot() WindowSummary {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WindowSummary{Count: w.count, Size: w.filled, Max: w.max}
+	if w.filled == 0 {
+		return s
+	}
+	recent := make([]float64, w.filled)
+	copy(recent, w.buf[:w.filled])
+	s.P50 = Median(recent)
+	s.P95 = Percentile(recent, 0.95)
+	return s
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestWindowQuantiles(t *testing.T) {
+	w := NewWindow(100)
+	if s := w.Snapshot(); s.Count != 0 || s.Size != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	s := w.Snapshot()
+	if s.Count != 100 || s.Size != 100 {
+		t.Fatalf("count/size = %d/%d", s.Count, s.Size)
+	}
+	if math.Abs(s.P50-50) > 1 || math.Abs(s.P95-95) > 1 {
+		t.Fatalf("p50 = %.2f p95 = %.2f, want ~50/~95", s.P50, s.P95)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %.2f", s.Max)
+	}
+}
+
+// TestWindowSlides checks quantiles track the recent reservoir while
+// count and max stay lifetime-wide.
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(8)
+	w.Observe(1000) // ancient outlier
+	for i := 0; i < 8; i++ {
+		w.Observe(1)
+	}
+	s := w.Snapshot()
+	if s.Count != 9 || s.Size != 8 {
+		t.Fatalf("count/size = %d/%d", s.Count, s.Size)
+	}
+	if s.P95 != 1 {
+		t.Fatalf("p95 = %.2f should reflect the recent window", s.P95)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %.2f should keep the lifetime outlier", s.Max)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	for i := 0; i < 4; i++ {
+		w.Observe(9)
+	}
+	w.Reset()
+	if s := w.Snapshot(); s.Size != 0 || s.P50 != 0 || s.Count != 4 || s.Max != 9 {
+		t.Fatalf("post-reset snapshot = %+v (reservoir should empty, lifetime stats stay)", s)
+	}
+	w.Observe(2)
+	if s := w.Snapshot(); s.Size != 1 || s.P50 != 2 {
+		t.Fatalf("post-reset observe = %+v", s)
+	}
+}
+
+func TestWindowDefaultCapacity(t *testing.T) {
+	w := NewWindow(0)
+	if len(w.buf) != DefaultWindowSize {
+		t.Fatalf("capacity = %d, want %d", len(w.buf), DefaultWindowSize)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(float64(i))
+				_ = w.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := w.Snapshot(); s.Count != 8*200 || s.Size != 64 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

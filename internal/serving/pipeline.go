@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,27 +79,35 @@ func newDBSession(name string, db *storage.Database, cacheSize int) *dbSession {
 }
 
 // prepare turns one SQL text into a prediction input, consulting the plan
-// cache first. The returned bool reports a cache hit. The plan is NOT
+// cache first. The returned bool reports a cache hit; the returned string
+// is the statement's fingerprint (the plan-cache key, echoed to clients
+// so feedback can join back to the retained plan). The plan is NOT
 // executed: predictions see exactly what a database would know before
-// running the query.
-func (d *dbSession) prepare(sql string) (costmodel.PlanInput, bool, error) {
+// running the query. The caller's ctx is checked between stages so an
+// impatient client stops paying for optimization it no longer wants; a
+// ctx error is returned bare (not wrapped in ErrBadQuery — the statement
+// was fine, the client gave up).
+func (d *dbSession) prepare(ctx context.Context, sql string) (costmodel.PlanInput, bool, string, error) {
 	fp := costmodel.Fingerprint(sql)
 	if in, ok := d.cache.Get(fp); ok {
-		return in, true, nil
+		return in, true, fp, nil
 	}
 	pq := &pipelineQuery{sql: sql}
 	for _, s := range prepareStages {
+		if err := ctx.Err(); err != nil {
+			return costmodel.PlanInput{}, false, fp, err
+		}
 		start := time.Now()
 		err := s.fn(d, pq)
 		d.lat[s.name].Observe(time.Since(start))
 		if err != nil {
 			// Both the stage's own error and ErrBadQuery stay in the
 			// chain, so callers can match either.
-			return costmodel.PlanInput{}, false, fmt.Errorf("%s: %w: %w", s.name, err, ErrBadQuery)
+			return costmodel.PlanInput{}, false, fp, fmt.Errorf("%s: %w: %w", s.name, err, ErrBadQuery)
 		}
 	}
 	d.cache.Put(fp, pq.in)
-	return pq.in, false, nil
+	return pq.in, false, fp, nil
 }
 
 // parseStage resolves the SQL text against the database's schema.

@@ -134,12 +134,13 @@ func (c Config) withDefaults() Config {
 // estimators, the micro-batch scheduler, and the metrics that observe
 // them.
 type Session struct {
-	cfg   Config
-	sched *scheduler
+	cfg     Config
+	sched   *scheduler
+	started time.Time
 
 	mu     sync.RWMutex
 	dbs    map[string]*dbSession
-	models map[string]costmodel.Estimator
+	models map[string]*modelSlot
 	closed bool
 
 	requests metrics.Counter
@@ -147,15 +148,26 @@ type Session struct {
 	predict  metrics.LatencyRecorder
 }
 
+// modelSlot is one attached model name's current estimator plus its
+// swap history: the generation counts up from 1 at first attach, and
+// swapped records when the current generation took over. The adaptation
+// subsystem's accepted fine-tunes surface here.
+type modelSlot struct {
+	est        costmodel.Estimator
+	generation int64
+	swapped    time.Time
+}
+
 // NewSession returns an empty session; attach at least one database and
 // one model before predicting.
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	s := &Session{
-		cfg:    cfg,
-		sched:  newScheduler(cfg.MaxBatch, cfg.MaxWait),
-		dbs:    map[string]*dbSession{},
-		models: map[string]costmodel.Estimator{},
+		cfg:     cfg,
+		sched:   newScheduler(cfg.MaxBatch, cfg.MaxWait),
+		started: time.Now(),
+		dbs:     map[string]*dbSession{},
+		models:  map[string]*modelSlot{},
 	}
 	// Micro-batches always flush through the name's currently attached
 	// generation, so a hot-swap takes effect even for already-queued
@@ -169,7 +181,10 @@ func NewSession(cfg Config) *Session {
 func (s *Session) currentModel(name string) costmodel.Estimator {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.models[name]
+	if slot, ok := s.models[name]; ok {
+		return slot.est
+	}
+	return nil
 }
 
 // AttachDatabase registers db under name and builds its per-database
@@ -235,8 +250,51 @@ func (s *Session) AttachModel(est costmodel.Estimator) error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.models[est.Name()] = est
+	name := est.Name()
+	if slot, ok := s.models[name]; ok {
+		slot.est = est
+		slot.generation++
+		slot.swapped = time.Now()
+		return nil
+	}
+	s.models[name] = &modelSlot{est: est, generation: 1, swapped: time.Now()}
 	return nil
+}
+
+// Model returns the estimator currently attached under name (empty when
+// unambiguous) — the accessor the adaptation subsystem uses to clone and
+// shadow-evaluate the serving generation.
+func (s *Session) Model(name string) (costmodel.Estimator, error) {
+	return s.estimator(name)
+}
+
+// ModelGeneration reports how many times the name has been attached
+// (hot-swaps included) and when the current generation took over.
+func (s *Session) ModelGeneration(name string) (generation int64, swapped time.Time, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, time.Time{}, ErrClosed
+	}
+	slot, ok := s.models[name]
+	if !ok {
+		return 0, time.Time{}, fmt.Errorf("model %q not attached (attached: %v): %w", name, s.modelNames(), ErrNotFound)
+	}
+	return slot.generation, slot.swapped, nil
+}
+
+// CachedPlan returns the retained prepared input for a fingerprint in
+// the named database's plan cache, without touching LRU order or hit
+// stats. This is the feedback join: an observed runtime arrives with the
+// fingerprint of an earlier prediction, and the cached PlanInput turns
+// the pair into a training sample.
+func (s *Session) CachedPlan(dbName, fingerprint string) (costmodel.PlanInput, bool, error) {
+	d, err := s.database(dbName)
+	if err != nil {
+		return costmodel.PlanInput{}, false, err
+	}
+	in, ok := d.cache.Peek(fingerprint)
+	return in, ok, nil
 }
 
 // database resolves a request's database name; an empty name selects the
@@ -272,17 +330,17 @@ func (s *Session) estimator(name string) (costmodel.Estimator, error) {
 	}
 	if name == "" {
 		if len(s.models) == 1 {
-			for _, est := range s.models {
-				return est, nil
+			for _, slot := range s.models {
+				return slot.est, nil
 			}
 		}
 		return nil, fmt.Errorf("request must name a model (attached: %v): %w", s.modelNames(), ErrNotFound)
 	}
-	est, ok := s.models[name]
+	slot, ok := s.models[name]
 	if !ok {
 		return nil, fmt.Errorf("model %q not attached (attached: %v): %w", name, s.modelNames(), ErrNotFound)
 	}
-	return est, nil
+	return slot.est, nil
 }
 
 // databaseNames returns the attached database names sorted; callers hold
@@ -346,6 +404,11 @@ type Prediction struct {
 	RuntimeSec    float64 `json:"runtime_sec"`
 	OptimizerCost float64 `json:"optimizer_cost"`
 	EstRows       float64 `json:"est_rows"`
+	// Fingerprint is the statement's plan-cache key. Clients that later
+	// observe the query's actual runtime hand it back with the
+	// fingerprint (POST /v1/feedback) so the adaptation subsystem can
+	// join the runtime against the retained plan.
+	Fingerprint string `json:"fingerprint"`
 	// PlanCached reports whether the parse→optimize→featurize stages
 	// were skipped by a plan-cache hit.
 	PlanCached bool `json:"plan_cached"`
@@ -367,9 +430,11 @@ func (s *Session) Predict(ctx context.Context, dbName, model, sql string) (Predi
 		s.errs.Inc()
 		return Prediction{}, err
 	}
-	in, cached, err := d.prepare(sql)
+	in, cached, fp, err := d.prepare(ctx, sql)
 	if err != nil {
-		s.errs.Inc()
+		if !canceled(err) {
+			s.errs.Inc()
+		}
 		return Prediction{}, err
 	}
 	start := time.Now()
@@ -387,6 +452,7 @@ func (s *Session) Predict(ctx context.Context, dbName, model, sql string) (Predi
 		RuntimeSec:    pred,
 		OptimizerCost: in.OptimizerCost,
 		EstRows:       in.Plan.EstRows,
+		Fingerprint:   fp,
 		PlanCached:    cached,
 	}, nil
 }
@@ -430,10 +496,12 @@ func (s *Session) PredictBatch(ctx context.Context, dbName, model string, sqls [
 	var ins []costmodel.PlanInput
 	var idx []int // ins position -> items position
 	for i, sql := range sqls {
-		in, _, err := d.prepare(sql)
+		in, _, _, err := d.prepare(ctx, sql)
 		if err != nil {
 			items[i].Err = err
-			s.errs.Inc()
+			if !canceled(err) {
+				s.errs.Inc()
+			}
 			continue
 		}
 		ins = append(ins, in)
@@ -493,6 +561,9 @@ func (s *Session) PredictPlanned(ctx context.Context, est costmodel.Estimator, i
 
 // Stats is the session-wide observability snapshot behind /v1/stats.
 type Stats struct {
+	// UptimeSec is the seconds elapsed since the session was created —
+	// process uptime for the one-session-per-process `zsdb serve`.
+	UptimeSec float64 `json:"uptime_sec"`
 	// Requests and Errors count Predict/PredictBatch/PredictPlanned
 	// calls and their failures (including per-item pipeline failures).
 	Requests int64 `json:"requests"`
@@ -505,7 +576,17 @@ type Stats struct {
 	// Databases carries per-database pipeline-stage latencies and plan
 	// cache hit rates.
 	Databases []DatabaseStats `json:"databases"`
-	Models    []string        `json:"models"`
+	// Models carries per-model generation counters: how many times each
+	// name has been (re-)attached and when the serving generation last
+	// changed — the observable trace of adaptation hot-swaps.
+	Models []ModelStats `json:"models"`
+}
+
+// ModelStats is one attached model's generation view.
+type ModelStats struct {
+	Name       string    `json:"name"`
+	Generation int64     `json:"generation"`
+	LastSwap   time.Time `json:"last_swap"`
 }
 
 // DatabaseStats is one attached database's pipeline view.
@@ -521,11 +602,19 @@ func (s *Session) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
+		UptimeSec: time.Since(s.started).Seconds(),
 		Requests:  s.requests.Value(),
 		Errors:    s.errs.Value(),
 		Predict:   s.predict.Snapshot(),
 		Scheduler: s.sched.stats(),
-		Models:    s.modelNames(),
+	}
+	for _, name := range s.modelNames() {
+		slot := s.models[name]
+		st.Models = append(st.Models, ModelStats{
+			Name:       name,
+			Generation: slot.generation,
+			LastSwap:   slot.swapped,
+		})
 	}
 	for _, name := range s.databaseNames() {
 		st.Databases = append(st.Databases, s.dbs[name].stats())

@@ -430,6 +430,217 @@ func TestSessionHotSwap(t *testing.T) {
 	}
 }
 
+// cancelAfterN is a context whose Err() starts reporting Canceled after
+// n calls — the pipeline checks ctx between stages, so n selects exactly
+// where mid-pipeline the cancellation lands (0 = before parse, 1 =
+// between parse and optimize, 2 = between optimize and featurize).
+type cancelAfterN struct {
+	context.Context
+	remaining atomic.Int32
+}
+
+func newCancelAfterN(n int32) *cancelAfterN {
+	c := &cancelAfterN{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *cancelAfterN) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSessionCancellationMidPipeline cancels the caller's context at
+// each point of the parse→optimize→featurize chain and checks the
+// pipeline stops where it should: earlier stages ran, later stages never
+// did, the error is the bare ctx error (not ErrBadQuery — the statement
+// was fine), and client cancellations stay out of the Errors stat.
+func TestSessionCancellationMidPipeline(t *testing.T) {
+	imdb, _ := fixtures(t)
+	tests := []struct {
+		name       string
+		checks     int32
+		wantStages []string // stages that must have run exactly once
+	}{
+		{"before parse", 0, nil},
+		{"between parse and optimize", 1, []string{StageParse}},
+		{"between optimize and featurize", 2, []string{StageParse, StageOptimize}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sess := NewSession(Config{})
+			defer sess.Close()
+			sess.AttachDatabase("imdb", imdb.db)
+			sess.AttachModel(&fakeEstimator{name: "fake"})
+			_, err := sess.Predict(newCancelAfterN(tt.checks), "imdb", "fake", imdb.sqls[0])
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if errors.Is(err, ErrBadQuery) {
+				t.Fatal("cancellation wrapped in ErrBadQuery: the statement was fine")
+			}
+			st := sess.Stats()
+			if st.Errors != 0 {
+				t.Fatalf("client cancellation counted as a serving error: %+v", st)
+			}
+			ran := map[string]bool{}
+			for _, s := range tt.wantStages {
+				ran[s] = true
+			}
+			for _, stage := range []string{StageParse, StageOptimize, StageFeaturize} {
+				got := st.Databases[0].Stages[stage].Count
+				var want int64
+				if ran[stage] {
+					want = 1
+				}
+				if got != want {
+					t.Fatalf("stage %s ran %d times, want %d", stage, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionCancellationDuringPredictStage cancels while the predict
+// stage is in flight (a slow estimator): the pipeline stages all ran,
+// the caller gets its ctx error, and Errors stays zero.
+func TestSessionCancellationDuringPredictStage(t *testing.T) {
+	imdb, _ := fixtures(t)
+	sess := NewSession(Config{})
+	defer sess.Close()
+	sess.AttachDatabase("imdb", imdb.db)
+	sess.AttachModel(&fakeEstimator{name: "fake", delay: 100 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond) // parse/optimize are µs-fast; predict holds for 100ms
+		cancel()
+	}()
+	_, err := sess.Predict(ctx, "imdb", "fake", imdb.sqls[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := sess.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("mid-predict cancellation counted as a serving error: %+v", st)
+	}
+	if st.Databases[0].Stages[StageParse].Count != 1 {
+		t.Fatalf("parse never ran: %+v", st.Databases[0].Stages)
+	}
+}
+
+// TestSessionBatchCancellation checks PredictBatch's prepare loop also
+// honors the caller's context and keeps cancellations off the error
+// counter.
+func TestSessionBatchCancellation(t *testing.T) {
+	imdb, _ := fixtures(t)
+	sess := NewSession(Config{})
+	defer sess.Close()
+	sess.AttachDatabase("imdb", imdb.db)
+	sess.AttachModel(&fakeEstimator{name: "fake"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.PredictBatch(ctx, "imdb", "fake", imdb.sqls[:3])
+	if err != nil {
+		t.Fatalf("request-level err = %v; cancellation is per item", err)
+	}
+	for i, item := range res.Items {
+		if !errors.Is(item.Err, context.Canceled) {
+			t.Fatalf("item %d err = %v, want context.Canceled", i, item.Err)
+		}
+	}
+	if st := sess.Stats(); st.Errors != 0 {
+		t.Fatalf("canceled batch counted as serving errors: %+v", st)
+	}
+}
+
+// TestSessionStatsGenerations checks the per-model generation counters
+// and the uptime field: attach bumps to 1, every hot-swap increments and
+// refreshes the swap time.
+func TestSessionStatsGenerations(t *testing.T) {
+	imdb, _ := fixtures(t)
+	sess := NewSession(Config{})
+	defer sess.Close()
+	sess.AttachDatabase("imdb", imdb.db)
+	if err := sess.AttachModel(&fakeEstimator{name: "fake"}); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if len(st.Models) != 1 || st.Models[0].Name != "fake" || st.Models[0].Generation != 1 {
+		t.Fatalf("models = %+v, want fake at generation 1", st.Models)
+	}
+	if st.Models[0].LastSwap.IsZero() {
+		t.Fatal("attach did not record a swap time")
+	}
+	if st.UptimeSec <= 0 {
+		t.Fatalf("uptime = %v, want > 0", st.UptimeSec)
+	}
+	firstSwap := st.Models[0].LastSwap
+
+	time.Sleep(time.Millisecond)
+	if err := sess.AttachModel(&fakeEstimator{name: "fake", bias: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sess.AttachModel(&fakeEstimator{name: "other"})
+	st = sess.Stats()
+	if len(st.Models) != 2 {
+		t.Fatalf("models = %+v", st.Models)
+	}
+	// Sorted by name: fake then other.
+	if st.Models[0].Generation != 2 || !st.Models[0].LastSwap.After(firstSwap) {
+		t.Fatalf("hot-swap not reflected: %+v", st.Models[0])
+	}
+	if st.Models[1].Name != "other" || st.Models[1].Generation != 1 {
+		t.Fatalf("models = %+v", st.Models)
+	}
+	gen, swapped, err := sess.ModelGeneration("fake")
+	if err != nil || gen != 2 || swapped != st.Models[0].LastSwap {
+		t.Fatalf("ModelGeneration = %d/%v (err %v)", gen, swapped, err)
+	}
+	if _, _, err := sess.ModelGeneration("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown model generation err = %v", err)
+	}
+}
+
+// TestSessionCachedPlan checks the feedback join surface: a predicted
+// statement's fingerprint resolves to its retained PlanInput without
+// touching the cache's traffic stats.
+func TestSessionCachedPlan(t *testing.T) {
+	imdb, _ := fixtures(t)
+	sess := NewSession(Config{})
+	defer sess.Close()
+	sess.AttachDatabase("imdb", imdb.db)
+	sess.AttachModel(&fakeEstimator{name: "fake"})
+
+	p, err := sess.Predict(context.Background(), "imdb", "fake", imdb.sqls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint == "" {
+		t.Fatal("prediction carries no fingerprint")
+	}
+	in, ok, err := sess.CachedPlan("imdb", p.Fingerprint)
+	if err != nil || !ok {
+		t.Fatalf("cached plan lookup: ok=%v err=%v", ok, err)
+	}
+	if in.Plan == nil || in.Query == nil || in.OptimizerCost != p.OptimizerCost {
+		t.Fatalf("retained input incomplete: %+v", in)
+	}
+	if _, ok, _ := sess.CachedPlan("imdb", "never-predicted"); ok {
+		t.Fatal("lookup hit for an unknown fingerprint")
+	}
+	if _, _, err := sess.CachedPlan("nope", p.Fingerprint); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown db err = %v", err)
+	}
+	hits := sess.Stats().Databases[0].PlanCache.Hits
+	if hits != 0 {
+		t.Fatalf("CachedPlan counted as cache traffic: %d hits", hits)
+	}
+}
+
 // TestSessionCanceledClientNotAnError checks an impatient client's
 // context expiry is surfaced as a ctx error but kept out of the Errors
 // stat — operators alert on Errors, and a healthy server under client
