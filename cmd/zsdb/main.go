@@ -16,6 +16,7 @@
 //	                                       train a registry estimator and save it
 //	zsdb eval     -model model.gob         evaluate a saved model on the unseen db
 //	zsdb serve    -models m1.gob,m2.gob    HTTP prediction service (see below)
+//	zsdb route    -backends h1:8080,h2:8080  consistent-hash router over serve nodes
 //	zsdb explain  -sql "SELECT ..."        plan, execute and explain a query
 //	zsdb gendata  [-seed N]                print a generated schema (debugging)
 //
@@ -50,6 +51,20 @@
 // clone of the model on the feedback window — hot-swapping it in only
 // when a shadow evaluation on held-out feedback improves. Predictions
 // return a "fingerprint" field clients echo back with the runtime.
+//
+// The serving layer scales out two ways, both powered by the same
+// internal/cluster router. -replicas N turns one zsdb serve process
+// into a sharded cluster of N mirrored in-process replicas: databases
+// partition across replicas by consistent hashing (virtual nodes keep
+// assignments stable as replicas come and go), each request lands on
+// the replica owning its database — plan caches and adaptation windows
+// stay replica-local — and a downed or slow replica's requests fail
+// over along the ring with no request lost. zsdb route is the
+// multi-process form of the same thing: a thin routing tier over
+// remote zsdb serve backends (-backends host1:8080,host2:8080) with
+// per-backend health probes, bounded-fanout aggregation of /v1/stats
+// and /v1/databases, and GET /v1/cluster exposing ring ownership and
+// replica health.
 //
 // Models destined for serving should be trained with estimated
 // cardinalities (the train default): at serving time queries are planned
@@ -162,6 +177,8 @@ func run(cmd string, args []string) error {
 		return runEval(args)
 	case "serve":
 		return runServe(args)
+	case "route":
+		return runRoute(args)
 	case "explain":
 		return runExplain(args)
 	case "gendata":
@@ -172,7 +189,7 @@ func run(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|all|train|eval|serve|explain|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|all|train|eval|serve|route|explain|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.

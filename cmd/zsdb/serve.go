@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
+	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
@@ -56,6 +57,15 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpErrorCode is httpError plus a machine-readable "code" field, for
+// conditions remote routers must classify without parsing prose (the
+// cluster HTTP backend keys on it).
+func httpErrorCode(w http.ResponseWriter, status int, errCode, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...), "code": errCode})
 }
 
 // sessionError maps a serving error kind onto its status code.
@@ -160,7 +170,7 @@ func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.loop == nil {
-		httpError(w, http.StatusNotFound, "online adaptation is disabled (restart with -adapt)")
+		httpErrorCode(w, http.StatusNotFound, cluster.CodeAdaptDisabled, "online adaptation is disabled (restart with -adapt)")
 		return
 	}
 	var req feedbackRequest
@@ -333,11 +343,11 @@ func buildDatabase(kind string, scale float64) (*storage.Database, error) {
 	}
 }
 
-// buildSession assembles the serving session. Model files load and
-// validate first — they fail cheaply, while each database costs seconds
-// of data generation.
-func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string) (*serving.Session, error) {
-	sess := serving.NewSession(cfg)
+// loadModels loads and validates every model file. Models load before
+// databases build — they fail cheaply, while each database costs
+// seconds of data generation.
+func loadModels(modelPaths string) ([]costmodel.Estimator, error) {
+	var models []costmodel.Estimator
 	seen := map[string]bool{}
 	for _, path := range strings.Split(modelPaths, ",") {
 		path = strings.TrimSpace(path)
@@ -357,18 +367,24 @@ func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths
 			return nil, fmt.Errorf("serve: two models named %q; serve one file per estimator kind", est.Name())
 		}
 		seen[est.Name()] = true
-		if err := sess.AttachModel(est); err != nil {
-			return nil, err
-		}
+		models = append(models, est)
 		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", est.Name(), path)
 	}
-	// Database builds are independent and cost seconds of data
-	// generation each; run them concurrently and attach in flag order.
+	return models, nil
+}
+
+// buildDatabases constructs the named serving databases concurrently
+// (each costs seconds of data generation), returning them in flag
+// order.
+func buildDatabases(dbSpec string, dbScale float64) ([]string, []*storage.Database, error) {
 	var kinds []string
 	for _, kind := range strings.Split(dbSpec, ",") {
 		if kind = strings.TrimSpace(kind); kind != "" {
 			kinds = append(kinds, kind)
 		}
+	}
+	if len(kinds) == 0 {
+		return nil, nil, fmt.Errorf("serve: no databases attached (check -databases)")
 	}
 	dbs := make([]*storage.Database, len(kinds))
 	errs := make([]error, len(kinds))
@@ -381,17 +397,50 @@ func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths
 		}(i, kind)
 	}
 	wg.Wait()
-	for i, kind := range kinds {
+	for i := range kinds {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return nil, nil, errs[i]
 		}
+	}
+	return kinds, dbs, nil
+}
+
+// assembleSession attaches pre-built databases and loaded models to a
+// fresh session. Replicated cluster mode calls this once per replica
+// over the same databases — the storage is shared, only the
+// per-session pipeline state (statistics, plan caches, scheduler) is
+// per-replica.
+func assembleSession(cfg serving.Config, kinds []string, dbs []*storage.Database, models []costmodel.Estimator) (*serving.Session, error) {
+	sess := serving.NewSession(cfg)
+	for _, est := range models {
+		if err := sess.AttachModel(est); err != nil {
+			return nil, err
+		}
+	}
+	for i, kind := range kinds {
 		if err := sess.AttachDatabase(kind, dbs[i]); err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, dbScale)
 	}
-	if len(kinds) == 0 {
-		return nil, fmt.Errorf("serve: no databases attached (check -databases)")
+	return sess, nil
+}
+
+// buildSession assembles the single-replica serving session.
+func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string) (*serving.Session, error) {
+	models, err := loadModels(modelPaths)
+	if err != nil {
+		return nil, err
+	}
+	kinds, dbs, err := buildDatabases(dbSpec, dbScale)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := assembleSession(cfg, kinds, dbs, models)
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, dbScale)
 	}
 	return sess, nil
 }
@@ -427,34 +476,120 @@ func adaptableModel(sess *serving.Session, name string) (string, error) {
 
 // serveUntilSignal runs the HTTP server until a shutdown signal arrives,
 // then drains: stop accepting connections, let in-flight handlers finish
-// (bounded by drainTimeout), and close the session so queued micro-batches
-// still answer before the process exits.
-func serveUntilSignal(httpSrv *http.Server, ln net.Listener, sess *serving.Session, sigs <-chan os.Signal, drainTimeout time.Duration) error {
+// (bounded by drainTimeout), and close the backing session — or, in
+// cluster mode, the router and every replica behind it — so queued
+// micro-batches still answer before the process exits.
+func serveUntilSignal(httpSrv *http.Server, ln net.Listener, backing interface{ Close() error }, sigs <-chan os.Signal, drainTimeout time.Duration) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-serveErr:
-		sess.Close()
+		backing.Close()
 		return err
 	case sig := <-sigs:
 		fmt.Fprintf(os.Stderr, "zsdb serve: %v received, draining...\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		shutdownErr := httpSrv.Shutdown(ctx)
-		sess.Close()
+		backing.Close()
 		<-serveErr // http.ErrServerClosed once Shutdown completes
 		return shutdownErr
 	}
 }
 
+// adaptFlags carries the -adapt* flag values into session assembly.
+type adaptFlags struct {
+	on         bool
+	model      string
+	windowSize int
+	minSamples int
+}
+
+// newLoopFor builds and starts one session's adaptation loop per the
+// flags (nil when -adapt is off).
+func (a adaptFlags) newLoopFor(sess *serving.Session) (*adapt.Loop, error) {
+	if !a.on {
+		return nil, nil
+	}
+	model, err := adaptableModel(sess, a.model)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := adapt.New(sess, adapt.Config{
+		Model:      model,
+		WindowSize: a.windowSize,
+		MinSamples: a.minSamples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	loop.Start()
+	return loop, nil
+}
+
+// buildReplicatedCluster assembles N mirrored in-process replicas —
+// each a full serving session over the SAME storage (per-replica
+// statistics, plan caches and schedulers; shared column data) — behind
+// a consistent-hash router. Requests for one database always land on
+// its owning replica, so plan-cache and adaptation-window locality
+// survives the fan-in, and any replica can rescue any database on
+// failover because the mirrored attachment is total.
+func buildReplicatedCluster(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string, replicas int, af adaptFlags, rcfg cluster.Config) (*cluster.Router, map[string]*adapt.Loop, error) {
+	models, err := loadModels(modelPaths)
+	if err != nil {
+		return nil, nil, err
+	}
+	kinds, dbs, err := buildDatabases(dbSpec, dbScale)
+	if err != nil {
+		return nil, nil, err
+	}
+	router := cluster.NewRouter(rcfg)
+	loops := map[string]*adapt.Loop{}
+	for i := 0; i < replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		sess, err := assembleSession(cfg, kinds, dbs, models)
+		if err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+		loop, err := af.newLoopFor(sess)
+		if err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+		if loop != nil {
+			loops[name] = loop
+		}
+		b, err := cluster.NewInProcess(name, sess, loop)
+		if err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+		if err := router.Register(b); err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+	}
+	for i, kind := range kinds {
+		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g) to %d replica(s); owner %s\n",
+			kind, dbs[i].Schema.Name, dbScale, replicas, router.Owner(kind))
+	}
+	return router, loops, nil
+}
+
 // runServe loads the model files, attaches the serving databases, and
-// serves the prediction API until SIGINT/SIGTERM.
+// serves the prediction API until SIGINT/SIGTERM. With -replicas N > 1
+// the same binary runs a sharded cluster: N mirrored in-process
+// replicas behind the consistent-hash router, one HTTP front end.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	modelPaths := fs.String("models", "", "comma-separated saved model files (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	databases := fs.String("databases", "imdb", "comma-separated serving databases to attach: imdb, ssb, tpch")
 	dbScale := fs.Float64("dbscale", 0.1, "serving database scale")
+	replicas := fs.Int("replicas", 1, "in-process replica count; >1 serves a sharded cluster behind the consistent-hash router")
+	callTimeout := fs.Duration("call-timeout", 10*time.Second, "cluster mode: per-attempt replica call timeout; a slower replica fails over (-replicas > 1 only)")
+	maxAttempts := fs.Int("max-attempts", 0, "cluster mode: failover candidates per request, 0 = all replicas (-replicas > 1 only)")
 	batchMax := fs.Int("batch-max", serving.DefaultMaxBatch, "micro-batch size cap for coalesced single predictions")
 	batchWait := fs.Duration("batch-wait", serving.DefaultMaxWait, "micro-batch max-wait deadline")
 	planCache := fs.Int("plancache", costmodel.DefaultPlanCacheSize, "per-database plan cache entries")
@@ -469,51 +604,81 @@ func runServe(args []string) error {
 	if *modelPaths == "" {
 		return fmt.Errorf("serve: -models is required")
 	}
-	sess, err := buildSession(serving.Config{
+	if *replicas < 1 {
+		return fmt.Errorf("serve: -replicas must be >= 1, got %d", *replicas)
+	}
+	cfg := serving.Config{
 		MaxBatch:      *batchMax,
 		MaxWait:       *batchWait,
 		PlanCacheSize: *planCache,
-	}, *databases, *dbScale, *modelPaths)
-	if err != nil {
-		return err
 	}
-	srv := newServer(sess)
-	if *adaptOn {
-		model, err := adaptableModel(sess, *adaptModel)
-		if err != nil {
-			return err
-		}
-		loop, err := adapt.New(sess, adapt.Config{
-			Model:      model,
-			WindowSize: *adaptWindow,
-			MinSamples: *adaptMin,
+	af := adaptFlags{on: *adaptOn, model: *adaptModel, windowSize: *adaptWindow, minSamples: *adaptMin}
+
+	var handler http.Handler
+	var backing interface{ Close() error }
+	var banner string
+	if *replicas > 1 {
+		router, loops, err := buildReplicatedCluster(cfg, *databases, *dbScale, *modelPaths, *replicas, af, cluster.Config{
+			CallTimeout:    *callTimeout,
+			MaxAttempts:    *maxAttempts,
+			HealthInterval: 2 * time.Second,
 		})
 		if err != nil {
 			return err
 		}
-		loop.Start()
-		// Closed after the serve loop drains; a sweep racing the session
-		// shutdown fails its AttachModel with ErrClosed and is discarded.
-		defer loop.Close()
-		srv.loop = loop
-		fmt.Fprintf(os.Stderr, "online adaptation enabled for %s (POST /v1/feedback)\n", model)
+		srv := newClusterServer(router)
+		if len(loops) > 0 {
+			srv.adaptStatus = func() map[string]adapt.Status {
+				out := make(map[string]adapt.Status, len(loops))
+				for name, loop := range loops {
+					out[name] = loop.Status()
+				}
+				return out
+			}
+			fmt.Fprintf(os.Stderr, "online adaptation enabled on %d replica(s) (POST /v1/feedback)\n", len(loops))
+		}
+		handler = srv.mux()
+		backing = router
+		banner = fmt.Sprintf("serving %d replica(s)", *replicas)
+	} else {
+		sess, err := buildSession(cfg, *databases, *dbScale, *modelPaths)
+		if err != nil {
+			return err
+		}
+		srv := newServer(sess)
+		loop, err := af.newLoopFor(sess)
+		if err != nil {
+			return err
+		}
+		if loop != nil {
+			// Closed after the serve loop drains; a sweep racing the session
+			// shutdown fails its AttachModel with ErrClosed and is discarded.
+			defer loop.Close()
+			srv.loop = loop
+			fmt.Fprintf(os.Stderr, "online adaptation enabled for %s (POST /v1/feedback)\n", adaptName(loop))
+		}
+		handler = srv.mux()
+		backing = sess
+		banner = fmt.Sprintf("serving %d model(s) over %d database(s)", len(sess.Models()), len(sess.Databases()))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           srv.mux(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
-	fmt.Fprintf(os.Stderr, "serving %d model(s) over %d database(s) on %s\n",
-		len(sess.Models()), len(sess.Databases()), ln.Addr())
-	err = serveUntilSignal(httpSrv, ln, sess, sigs, *drain)
+	fmt.Fprintf(os.Stderr, "%s on %s\n", banner, ln.Addr())
+	err = serveUntilSignal(httpSrv, ln, backing, sigs, *drain)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err
 }
+
+// adaptName reports the adapted model's name for the startup banner.
+func adaptName(loop *adapt.Loop) string { return loop.Status().Model }

@@ -25,11 +25,17 @@
 //     worker that fine-tunes a clone of the serving model and hot-swaps
 //     it when a shadow evaluation improves (the few-shot mode, closed
 //     into a serving loop)
+//   - internal/cluster — scale-out: a consistent-hash router (virtual
+//     nodes, health-checked failover, bounded fan-out aggregation) over
+//     replica backends, in-process or remote HTTP, plus a deterministic
+//     fault-injection simulation harness (internal/cluster/sim)
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation by iterating over registry estimators
 //   - cmd/zsdb — the experiment driver CLI and the `zsdb serve` HTTP
-//     prediction service (POST /v1/predict, /v1/predict_batch, and the
-//     -adapt feedback loop via /v1/feedback)
+//     prediction service (POST /v1/predict, /v1/predict_batch, the
+//     -adapt feedback loop via /v1/feedback, and -replicas N for the
+//     single-binary cluster), with `zsdb route` as the multi-process
+//     routing tier over remote serve nodes
 //   - examples/ — runnable walkthroughs (quickstart, index advisor,
 //     few-shot adaptation, learned join ordering)
 //

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/serving"
+)
+
+// inferCost is the simulated per-batch inference latency: the regime
+// where replica scaling pays. The zero-shot model's PredictBatch costs
+// on the order of a millisecond; 200µs keeps the benchmark quick while
+// still dominating routing overhead (~3µs, see replicas=1 vs the
+// instant-estimator numbers in EXPERIMENTS.md E8).
+const inferCost = 200 * time.Microsecond
+
+// BenchmarkClusterPredict measures routed prediction throughput over
+// 1/2/4 mirrored in-process replicas under parallel load — the
+// replica-scaling curve recorded as E8 in EXPERIMENTS.md. Each replica
+// is a full serving session (own plan caches, own micro-batch
+// scheduler, estimator with a simulated per-batch inference cost) over
+// the shared fixture databases; the workload cycles both databases so
+// requests spread across ring owners. With one replica every request
+// funnels through one scheduler draining serialized inference batches;
+// added replicas drain in parallel, so throughput climbs until the
+// replicas outnumber the load.
+func BenchmarkClusterPredict(b *testing.B) {
+	f := fixtures(b)
+	// Eight ring keys (four aliases per fixture database, same storage)
+	// so the ring can spread load across every replica count measured —
+	// with only two keys, at most two replicas would ever see traffic.
+	type alias struct{ name, base string }
+	var aliases []alias
+	var dbNames []string
+	for base := range f.dbs {
+		for i := 0; i < 4; i++ {
+			a := alias{name: fmt.Sprintf("%s%d", base, i), base: base}
+			aliases = append(aliases, a)
+			dbNames = append(dbNames, a.name)
+		}
+	}
+	newBenchReplica := func(b *testing.B, name string) *InProcess {
+		b.Helper()
+		sess := serving.NewSession(serving.Config{})
+		for _, a := range aliases {
+			if err := sess.AttachDatabase(a.name, f.dbs[a.base]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sess.AttachModel(&adaptableEstimator{name: "fake", delay: inferCost}); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := NewInProcess(name, sess, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	sqlsFor := func(name string) []string {
+		for _, a := range aliases {
+			if a.name == name {
+				return f.sqls[a.base]
+			}
+		}
+		b.Fatalf("unknown alias %s", name)
+		return nil
+	}
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			router := NewRouter(Config{})
+			defer router.Close()
+			for i := 0; i < replicas; i++ {
+				if err := router.Register(newBenchReplica(b, fmt.Sprintf("r%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			// Warm every replica's plan caches so the measured region is
+			// routing + predict, not one-time parse/optimize.
+			for _, db := range dbNames {
+				for _, sql := range sqlsFor(db) {
+					if _, err := router.Predict(ctx, db, "fake", sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.SetParallelism(4) // enough in-flight load to feed 4 replicas
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					db := dbNames[i%len(dbNames)]
+					sqls := sqlsFor(db)
+					if _, err := router.Predict(ctx, db, "fake", sqls[i%len(sqls)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

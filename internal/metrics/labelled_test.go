@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelledCounterBasics(t *testing.T) {
+	var c LabelledCounter
+	if got := c.Value("r0"); got != 0 {
+		t.Fatalf("zero-value counter Value = %d", got)
+	}
+	c.Inc("r0")
+	c.Inc("r0")
+	c.Add("r1", 5)
+	if got := c.Value("r0"); got != 2 {
+		t.Fatalf("r0 = %d, want 2", got)
+	}
+	if got := c.Value("r1"); got != 5 {
+		t.Fatalf("r1 = %d, want 5", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["r0"] != 2 || snap["r1"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "r0" || labels[1] != "r1" {
+		t.Fatalf("labels = %v, want sorted [r0 r1]", labels)
+	}
+}
+
+// TestLabelledCounterConcurrent hammers label creation and increments
+// from many goroutines; run under -race in CI.
+func TestLabelledCounterConcurrent(t *testing.T) {
+	var c LabelledCounter
+	const workers, perWorker, labels = 8, 500, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(fmt.Sprintf("replica-%d", (w+i)%labels))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range c.Snapshot() {
+		total += v
+	}
+	if total != workers*perWorker {
+		t.Fatalf("total = %d, want %d", total, workers*perWorker)
+	}
+	if got := len(c.Labels()); got != labels {
+		t.Fatalf("label count = %d, want %d", got, labels)
+	}
+}

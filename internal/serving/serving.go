@@ -598,16 +598,27 @@ type DatabaseStats struct {
 
 // Stats snapshots the session's counters, stage latencies, cache hit
 // rates and scheduler behavior.
+//
+// The registry view — which models and databases exist, and each
+// model's generation — is captured in ONE pass under the session lock:
+// every model slot's (name, generation, swap time) is copied while the
+// same lock that AttachModel's writes take is held, so no snapshot can
+// list a model without its generation or observe a generation from a
+// different attach than the name list. (A previous draft interleaved
+// name listing and slot reads; replica-aggregated cluster stats made
+// that torn read observable.) Independently locked recorders — latency
+// reservoirs, plan caches, the scheduler — are snapshotted after the
+// lock is released: they are monotonic accumulators whose point-in-time
+// values carry no cross-field invariant, and keeping them outside
+// shortens the hold on the registry lock the request path contends on.
 func (s *Session) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	st := Stats{
 		UptimeSec: time.Since(s.started).Seconds(),
 		Requests:  s.requests.Value(),
 		Errors:    s.errs.Value(),
-		Predict:   s.predict.Snapshot(),
-		Scheduler: s.sched.stats(),
 	}
+	st.Models = make([]ModelStats, 0, len(s.models))
 	for _, name := range s.modelNames() {
 		slot := s.models[name]
 		st.Models = append(st.Models, ModelStats{
@@ -616,10 +627,26 @@ func (s *Session) Stats() Stats {
 			LastSwap:   slot.swapped,
 		})
 	}
+	dbs := make([]*dbSession, 0, len(s.dbs))
 	for _, name := range s.databaseNames() {
-		st.Databases = append(st.Databases, s.dbs[name].stats())
+		dbs = append(dbs, s.dbs[name])
+	}
+	s.mu.RUnlock()
+	st.Predict = s.predict.Snapshot()
+	st.Scheduler = s.sched.stats()
+	st.Databases = make([]DatabaseStats, 0, len(dbs))
+	for _, d := range dbs {
+		st.Databases = append(st.Databases, d.stats())
 	}
 	return st
+}
+
+// Closed reports whether Close has been called — the liveness signal
+// cluster health probes read without issuing a prediction.
+func (s *Session) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
 }
 
 // Close drains the scheduler (queued singles still get answers) and

@@ -1,0 +1,89 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStatsSingleLockPassUnderHotSwap is the regression net for the
+// torn-read audit of Session.Stats: while models hot-swap (generation
+// bumps) and new models attach concurrently, every snapshot must be
+// internally consistent — each listed model carries the generation its
+// slot held in the same locked pass that listed it, names stay sorted
+// and duplicate-free, and no model ever appears with a zero generation
+// (the shape a name-list/slot-read interleave would produce). Run under
+// -race in CI.
+func TestStatsSingleLockPassUnderHotSwap(t *testing.T) {
+	sess := NewSession(Config{})
+	defer sess.Close()
+	if err := sess.AttachModel(&fakeEstimator{name: "m0"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Swapper: hot-swap m0 continuously and attach fresh names.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := sess.AttachModel(&fakeEstimator{name: "m0", bias: float64(i)}); err != nil {
+				t.Errorf("hot-swap: %v", err)
+				return
+			}
+			if i%16 == 0 {
+				name := string(rune('a' + (i/16)%26))
+				if err := sess.AttachModel(&fakeEstimator{name: "extra-" + name}); err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	// Reader: snapshot and check invariants.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	swapsSeen := int64(0)
+	for time.Now().Before(deadline) {
+		st := sess.Stats()
+		if len(st.Models) == 0 {
+			t.Fatal("snapshot lost all models")
+		}
+		prev := ""
+		for _, m := range st.Models {
+			if m.Generation < 1 {
+				t.Fatalf("model %q listed with generation %d: torn registry read", m.Name, m.Generation)
+			}
+			if m.Name <= prev {
+				t.Fatalf("model list unsorted or duplicated: %q after %q", m.Name, prev)
+			}
+			if m.Name == "m0" {
+				swapsSeen = m.Generation
+			}
+			if m.LastSwap.IsZero() {
+				t.Fatalf("model %q has no swap timestamp", m.Name)
+			}
+			prev = m.Name
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if swapsSeen < 2 {
+		t.Fatalf("reader observed generation %d; the swapper never ran", swapsSeen)
+	}
+	// The final snapshot agrees with the registry's own accessors.
+	st := sess.Stats()
+	gen, _, err := sess.ModelGeneration("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range st.Models {
+		if m.Name == "m0" && m.Generation != gen {
+			t.Fatalf("quiesced snapshot generation %d != registry %d", m.Generation, gen)
+		}
+	}
+	if models, _ := sess.Counts(); models != len(st.Models) {
+		t.Fatalf("Counts models %d != snapshot models %d at quiesce", models, len(st.Models))
+	}
+}

@@ -58,8 +58,12 @@ func lex(input string) ([]token, error) {
 		case unicode.IsDigit(c) || c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])):
 			start := i
 			i++
+			// A signed exponent accepts both marks: strconv renders large
+			// values as "1e+26", and rendered queries must re-parse (the
+			// plan cache joins feedback by re-parsing rendered SQL).
 			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.' || input[i] == 'e' ||
-				input[i] == 'E' || (input[i] == '-' && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				input[i] == 'E' ||
+				((input[i] == '-' || input[i] == '+') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
 				i++
 			}
 			toks = append(toks, token{tokNumber, input[start:i], start})
@@ -279,9 +283,28 @@ func (p *parser) resolveSelectList() error {
 }
 
 // resolveColumn resolves a possibly-unqualified column against the FROM
-// tables.
+// tables. Qualified references validate both halves — the qualifier
+// must be a FROM table and the column must exist in its schema —
+// because downstream stages (optimizer, featurizers) index the schema
+// by these names and must never see a reference the schema cannot
+// answer. (Found by fuzzing: "t.nonsense" used to pass straight
+// through.)
 func (p *parser) resolveColumn(table, column string, pos int) (query.ColumnRef, error) {
 	if table != "" {
+		inFrom := false
+		for _, tname := range p.q.Tables {
+			if tname == table {
+				inFrom = true
+				break
+			}
+		}
+		if !inFrom {
+			return query.ColumnRef{}, fmt.Errorf("sqlparse: table %q at %d is not in the FROM list", table, pos)
+		}
+		tm := p.sch.Table(table)
+		if tm == nil || tm.Column(column) == nil {
+			return query.ColumnRef{}, fmt.Errorf("sqlparse: unknown column %s.%s", table, column)
+		}
 		return query.ColumnRef{Table: table, Column: column}, nil
 	}
 	var found []query.ColumnRef
