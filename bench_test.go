@@ -7,8 +7,10 @@ package zeroshotdb_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/zeroshot-db/zeroshot/internal/baselines"
@@ -328,8 +330,9 @@ func BenchmarkPredictBatch_Serial(b *testing.B) {
 }
 
 // BenchmarkPredictBatch_Parallel predicts the same batch through
-// PredictBatch's GOMAXPROCS worker pool; the preds/s ratio over the
-// serial benchmark is the speedup of the new hot path.
+// PredictBatch; since the fused-inference refactor this is one fused
+// forward pass per batch, and the preds/s ratio over the serial
+// benchmark is the speedup of the new hot path.
 func BenchmarkPredictBatch_Parallel(b *testing.B) {
 	est, ins := predictBatchSetup(b)
 	ctx := context.Background()
@@ -340,6 +343,71 @@ func BenchmarkPredictBatch_Parallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// fanoutPredict reproduces the pre-fusion PredictBatch: per-item tape
+// forward passes fanned over a GOMAXPROCS worker pool — the E9 baseline
+// the fused path is measured against.
+func fanoutPredict(ctx context.Context, est costmodel.Estimator, ins []costmodel.PlanInput) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ins) {
+					return
+				}
+				_, errs[i] = est.Predict(ctx, ins[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkFusedVsFanout is the E9 batched-inference curve: the same
+// zero-shot batch priced through the goroutine fan-out over per-item
+// tape forwards ("fanout") and through the fused single forward pass
+// ("fused"), at batch sizes 1/8/64/256. ReportAllocs makes the
+// steady-state allocation story part of the measurement.
+func BenchmarkFusedVsFanout(b *testing.B) {
+	est, ins := predictBatchSetup(b)
+	ctx := context.Background()
+	for _, size := range []int{1, 8, 64, 256} {
+		batch := ins[:size]
+		b.Run(fmt.Sprintf("fanout/b%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fanoutPredict(ctx, est, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*size)*1e9, "ns/item")
+		})
+		b.Run(fmt.Sprintf("fused/b%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.PredictBatch(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*size)*1e9, "ns/item")
+		})
+	}
 }
 
 // --- serving pipeline: coalesced singles vs per-request prediction ---

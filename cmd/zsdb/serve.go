@@ -103,9 +103,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// modelInfo describes one loaded model in /v1/models.
+// modelInfo describes one loaded model in /v1/models. Fused reports
+// whether the model's PredictBatch executes as one fused forward pass
+// (costmodel.BatchFuser); it is omitted by the cluster aggregation,
+// which only sees model names.
 type modelInfo struct {
-	Name string `json:"name"`
+	Name  string `json:"name"`
+	Fused bool   `json:"fused,omitempty"`
 }
 
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -115,7 +119,11 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	models := make([]modelInfo, 0, 4)
 	for _, name := range s.sess.Models() {
-		models = append(models, modelInfo{Name: name})
+		info := modelInfo{Name: name}
+		if est, err := s.sess.Model(name); err == nil {
+			info.Fused = costmodel.Fused(est)
+		}
+		models = append(models, info)
 	}
 	dbs := s.sess.Databases()
 	names := make([]string, len(dbs))

@@ -174,6 +174,11 @@ func TestServeHealthzAndModels(t *testing.T) {
 	if len(models.Models) != 2 || len(models.Databases) != 2 {
 		t.Fatalf("models = %+v", models)
 	}
+	for _, m := range models.Models {
+		if want := m.Name == costmodel.NameZeroShot; m.Fused != want {
+			t.Fatalf("model %s fused = %v, want %v (only the zero-shot adapter fuses batches)", m.Name, m.Fused, want)
+		}
+	}
 }
 
 func TestServeDatabases(t *testing.T) {

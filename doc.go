@@ -16,8 +16,13 @@
 //
 //   - internal/costmodel — the unified Estimator API: one contract
 //     (Fit / Predict / PredictBatch / Save) over the zero-shot model and
-//     every baseline, a self-describing model registry, and worker-pool
-//     batched inference
+//     every baseline, and a self-describing model registry. Batched
+//     inference is fused where the model allows it: the zero-shot
+//     adapter packs the whole batch into one encoding.BatchGraph and
+//     runs a single tape-free forward pass on pooled nn buffers
+//     (bitwise-equal to per-item Predict), while the baselines fall
+//     back to a worker-pool fan-out — see DESIGN.md's "The inference
+//     engine"
 //   - internal/zeroshot — the zero-shot cost model (train / predict /
 //     fine-tune / save / load)
 //   - internal/adapt — online adaptation: serve-time feedback joined

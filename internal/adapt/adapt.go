@@ -438,7 +438,10 @@ func split(samples []costmodel.Sample, k int) (train, holdout []costmodel.Sample
 	return train, holdout
 }
 
-// medianQError shadow-evaluates one estimator on a holdout slice.
+// medianQError shadow-evaluates one estimator on a holdout slice. The
+// whole holdout drains through PredictBatch, so a fusing estimator
+// (costmodel.Fused) prices it in one fused forward pass — background
+// shadow evaluation steals as little serving CPU as possible.
 func medianQError(ctx context.Context, est costmodel.Estimator, holdout []costmodel.Sample) (float64, error) {
 	preds, err := est.PredictBatch(ctx, costmodel.Inputs(holdout))
 	if err != nil {

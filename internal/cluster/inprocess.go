@@ -60,7 +60,9 @@ func (b *InProcess) Predict(ctx context.Context, db, model, sql string) (serving
 	return p, downgrade(err)
 }
 
-// PredictBatch implements Backend.
+// PredictBatch implements Backend. The session drains the batch
+// through Estimator.PredictBatch, so replicas serving a fusing
+// estimator price it as one fused forward pass.
 func (b *InProcess) PredictBatch(ctx context.Context, db, model string, sqls []string) (serving.BatchResult, error) {
 	r, err := b.sess.PredictBatch(ctx, db, model, sqls)
 	return r, downgrade(err)

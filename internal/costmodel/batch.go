@@ -1,58 +1,80 @@
 package costmodel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"context"
 )
 
 // predictBatch fans predict over a worker pool sized by GOMAXPROCS and
-// returns the results aligned with ins. It is the shared PredictBatch
-// implementation of every adapter: per-sample tapes make the underlying
-// forward passes independent, so the fan-out is embarrassingly parallel.
-// The first error (by input index) aborts the batch; context cancellation
-// stops workers between items.
+// returns the results aligned with ins. It is the PredictBatch fallback
+// for adapters whose models cannot fuse a batch into one forward pass
+// (MSCN, E2E, ScaledCost); the zero-shot adapter executes batches as a
+// single fused pass instead. The first error (by input index) aborts
+// the batch. A context cancellation stops the pool promptly and reports
+// ctx.Err() for every unfinished item: the first worker that observes
+// the cancellation raises a shared stop flag so no later item starts
+// predicting, and a final sweep marks the items no worker reached.
 func predictBatch(ctx context.Context, ins []PlanInput, predict func(PlanInput) (float64, error)) ([]float64, error) {
-	if len(ins) == 0 {
-		return nil, nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ins) {
-		workers = len(ins)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	out := make([]float64, len(ins))
-	errs := make([]error, len(ins))
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(ins) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					return
-				}
-				out[i], errs[i] = predict(ins[i])
-			}
-		}()
-	}
-	wg.Wait()
+	out, errs := runBatch(ctx, len(ins), runtime.GOMAXPROCS(0), func(i int) (float64, error) {
+		return predict(ins[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
 		}
 	}
 	return out, nil
+}
+
+// runBatch is predictBatch's worker-pool core, split out with an
+// explicit worker count so tests can pin the concurrency and assert the
+// cancellation contract deterministically. It returns per-item results
+// and errors (nil error means item i finished).
+func runBatch(ctx context.Context, n, workers int, predict func(int) (float64, error)) ([]float64, []error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]float64, n)
+	errs := make([]error, n)
+	done := make([]bool, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				out[i], errs[i] = predict(i)
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !done[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return out, errs
 }

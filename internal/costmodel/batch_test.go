@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunBatchCancelMidBatch is the cancellation regression test for
+// the worker-pool fallback: two workers are parked inside predict calls
+// when the context is cancelled, and from that point on (a) no further
+// predict starts — the first worker to observe the cancellation raises
+// the shared stop flag, and cancellation is visible to every later
+// claim — and (b) every unfinished item reports ctx.Err(), including
+// the items no worker ever claimed.
+func TestRunBatchCancelMidBatch(t *testing.T) {
+	const (
+		n       = 8
+		workers = 2
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	var arrived atomic.Int32
+	barrier := make(chan struct{})
+	predict := func(i int) (float64, error) {
+		calls.Add(1)
+		// Both workers park here; the second to arrive cancels, so the
+		// cancellation is strictly ordered before either worker's next
+		// claim.
+		if arrived.Add(1) == workers {
+			cancel()
+			close(barrier)
+		} else {
+			<-barrier
+		}
+		return float64(i) + 1, nil
+	}
+	out, errs := runBatch(ctx, n, workers, predict)
+	if got := calls.Load(); got != workers {
+		t.Fatalf("%d predicts ran, want %d — a predict started after cancellation", got, workers)
+	}
+	finished := 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil:
+			if out[i] != float64(i)+1 {
+				t.Fatalf("finished item %d = %v, want %v", i, out[i], float64(i)+1)
+			}
+			finished++
+		case !errors.Is(errs[i], context.Canceled):
+			t.Fatalf("unfinished item %d err = %v, want context.Canceled", i, errs[i])
+		}
+	}
+	if finished != workers {
+		t.Fatalf("%d items finished, want %d", finished, workers)
+	}
+}
+
+// TestPredictBatchCancelledReportsContextError checks the public
+// aggregation: a cancelled batch surfaces ctx.Err() (wrapped with the
+// first unfinished index), never a partial result.
+func TestPredictBatchCancelledReportsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ins := make([]PlanInput, 4)
+	var once atomic.Bool
+	out, err := predictBatch(ctx, ins, func(PlanInput) (float64, error) {
+		if once.CompareAndSwap(false, true) {
+			cancel()
+		}
+		return 1, nil
+	})
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+}
+
+// TestRunBatchFirstErrorByIndexWins checks a predict failure (not a
+// cancellation) does not stop other items, and the aggregate error
+// names the lowest failing index.
+func TestRunBatchFirstErrorByIndexWins(t *testing.T) {
+	boom := errors.New("boom")
+	ins := make([]PlanInput, 6)
+	_, err := predictBatch(context.Background(), ins, func(in PlanInput) (float64, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if want := "costmodel: batch item 0: boom"; err.Error() != want {
+		t.Fatalf("err = %q, want %q", err.Error(), want)
+	}
+}

@@ -8,8 +8,15 @@
 // single interface covers them:
 //
 //   - Estimator: Fit on []Sample, Predict one PlanInput, PredictBatch many
-//     (worker-pool fan-out sized by GOMAXPROCS — the serving hot path),
-//     Save to an io.Writer.
+//     (the serving hot path: the batch is the first-class unit of
+//     inference), Save to an io.Writer.
+//   - Adapters whose models can fuse a batch into one forward pass do so
+//     and advertise it through the optional BatchFuser capability: the
+//     zero-shot adapter packs the whole batch into one super-graph and
+//     runs a single tape-free pass. The rest (MSCN, E2E, ScaledCost)
+//     fall back to the shared worker-pool fan-out sized by GOMAXPROCS.
+//     Either way PredictBatch is bitwise-equal to a sequential Predict
+//     loop over the same inputs.
 //   - A registry keyed by model name makes saved models self-describing:
 //     Load reads the header and reconstructs the right estimator without
 //     the caller re-supplying a Config.
@@ -110,9 +117,11 @@ type Estimator interface {
 	// Predict returns the predicted runtime in seconds for one input.
 	// Safe for concurrent use after Fit or Load.
 	Predict(ctx context.Context, in PlanInput) (float64, error)
-	// PredictBatch predicts many inputs, fanning out over a worker pool
-	// sized by GOMAXPROCS. Results align with the input slice. Safe for
-	// concurrent use after Fit or Load.
+	// PredictBatch predicts many inputs as one batch — a single fused
+	// forward pass when the adapter supports it (see BatchFuser), a
+	// GOMAXPROCS worker-pool fan-out otherwise. Results align with the
+	// input slice and are bitwise-equal to calling Predict per input.
+	// Safe for concurrent use after Fit or Load.
 	PredictBatch(ctx context.Context, ins []PlanInput) ([]float64, error)
 	// Save writes the estimator's payload to w. Use the package-level
 	// Save to produce a self-describing file that Load can reconstruct.
@@ -123,6 +132,20 @@ type Estimator interface {
 // training on samples from a new database — the paper's few-shot mode.
 type FineTuner interface {
 	FineTune(ctx context.Context, samples []Sample, epochs int, lr float64) (*FitReport, error)
+}
+
+// BatchFuser is the optional capability of estimators whose
+// PredictBatch executes the whole batch as one fused forward pass
+// (shared buffers, no per-item tape or goroutine) rather than fanning
+// out per-item predictions over a worker pool.
+type BatchFuser interface {
+	FusesBatches() bool
+}
+
+// Fused reports whether est's PredictBatch runs as one fused pass.
+func Fused(est Estimator) bool {
+	f, ok := est.(BatchFuser)
+	return ok && f.FusesBatches()
 }
 
 // Cloner is the optional capability of estimators that can produce a

@@ -139,16 +139,35 @@ func (z *ZeroShot) Predict(ctx context.Context, in PlanInput) (float64, error) {
 	return z.model.Predict(g), nil
 }
 
-// PredictBatch implements Estimator.
+// PredictBatch implements Estimator: the whole batch executes as ONE
+// fused forward pass. Inputs are encoded into plan graphs (with a
+// cancellation check between items), packed into an encoding.BatchGraph
+// and run through the model's tape-free batched inference — bitwise
+// identical to predicting each input alone, minus the per-item tape,
+// gradient and goroutine overhead. Inputs may span databases: each is
+// encoded against its own schema, and the packed pass never reads
+// schema state.
 func (z *ZeroShot) PredictBatch(ctx context.Context, ins []PlanInput) ([]float64, error) {
-	return predictBatch(ctx, ins, func(in PlanInput) (float64, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	graphs := make([]*encoding.Graph, len(ins))
+	for i, in := range ins {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
+		}
 		g, err := z.encode(in)
 		if err != nil {
-			return 0, err
+			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
 		}
-		return z.model.Predict(g), nil
-	})
+		graphs[i] = g
+	}
+	return z.model.PredictBatch(graphs), nil
 }
+
+// FusesBatches implements BatchFuser: zero-shot batches run as one
+// fused forward pass.
+func (z *ZeroShot) FusesBatches() bool { return true }
 
 // zeroShotHeader precedes the model weights in the save payload.
 type zeroShotHeader struct {

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInferMatchesTapeRowByRow pins the inference-only MLP forward pass
+// bitwise to the tape path: running a batch of rows through Infer must
+// produce exactly the float64s the tape produces per row. This is the
+// nn-level half of the fused-inference equivalence guarantee.
+func TestInferMatchesTapeRowByRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, 9, 16, 16, 3)
+	const rows = 13
+	x := NewTensor(rows, 9)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	inf := GetInference()
+	defer inf.Release()
+	got := m.Infer(inf, x)
+	if got.Rows != rows || got.Cols != 3 {
+		t.Fatalf("Infer shape %dx%d, want %dx3", got.Rows, got.Cols, rows)
+	}
+	for r := 0; r < rows; r++ {
+		tp := NewTape()
+		row := FromSlice(x.Data[r*9 : (r+1)*9])
+		want := m.Apply(tp, tp.Const(row))
+		for j := 0; j < 3; j++ {
+			if got.At(r, j) != want.Val.At(0, j) {
+				t.Fatalf("row %d col %d: infer %v != tape %v", r, j, got.At(r, j), want.Val.At(0, j))
+			}
+		}
+	}
+}
+
+// TestInferenceTensorRecyclingZeroes checks scratch tensors come back
+// zeroed after a Reset (MatMulInto accumulates, so a dirty buffer would
+// corrupt the next pass) and that a slot grows when a larger shape is
+// requested.
+func TestInferenceTensorRecyclingZeroes(t *testing.T) {
+	inf := GetInference()
+	defer inf.Release()
+	a := inf.Tensor(2, 3)
+	for i := range a.Data {
+		a.Data[i] = 42
+	}
+	inf.Reset()
+	b := inf.Tensor(2, 3)
+	if b != a {
+		t.Fatal("Reset did not recycle the tensor slot")
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("recycled tensor not zeroed at %d: %v", i, v)
+		}
+	}
+	inf.Reset()
+	c := inf.Tensor(4, 5)
+	if c.Rows != 4 || c.Cols != 5 || len(c.Data) != 20 {
+		t.Fatalf("grown tensor shape %dx%d len %d", c.Rows, c.Cols, len(c.Data))
+	}
+	for i, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("grown tensor not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestInferSteadyStateAllocations checks the inference context reaches
+// zero allocations per forward pass once its buffers are warm — the
+// property the serving hot path depends on.
+func TestInferSteadyStateAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 8, 32, 32, 1)
+	x := NewTensor(16, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	inf := GetInference()
+	defer inf.Release()
+	m.Infer(inf, x) // warm the slots
+	inf.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Infer(inf, x)
+		inf.Reset()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Infer allocates %v objects per pass, want 0", allocs)
+	}
+}
+
+// TestInferenceRepeatedPassesStable checks two passes over the same
+// input through the same recycled buffers agree exactly.
+func TestInferenceRepeatedPassesStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 6, 12, 2)
+	x := NewTensor(7, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	inf := GetInference()
+	defer inf.Release()
+	first := m.Infer(inf, x).Clone()
+	inf.Reset()
+	second := m.Infer(inf, x)
+	for i := range first.Data {
+		if first.Data[i] != second.Data[i] {
+			t.Fatalf("pass 2 diverged at %d: %v vs %v", i, second.Data[i], first.Data[i])
+		}
+	}
+}
+
+func TestWrapAndBroadcastShapePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Wrap", func() { Wrap(2, 3, make([]float64, 5)) })
+	mustPanic("AddRowBroadcast", func() {
+		NewTensor(2, 3).AddRowBroadcast(NewTensor(1, 4))
+	})
+	mustPanic("Inference.Tensor", func() {
+		inf := GetInference()
+		defer inf.Release()
+		inf.Tensor(0, 3)
+	})
+}

@@ -36,6 +36,17 @@ func FromSlice(v []float64) *Tensor {
 	return t
 }
 
+// Wrap builds a rows x cols tensor viewing data without copying — the
+// zero-copy bridge from externally packed feature matrices (e.g. an
+// encoding.BatchGraph slab) into tensor operations. The caller keeps
+// ownership of data.
+func Wrap(rows, cols int, data []float64) *Tensor {
+	if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: Wrap shape %dx%d does not fit %d values", rows, cols, len(data)))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
 // At returns the element at (r, c).
 func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
 
@@ -76,6 +87,30 @@ func (t *Tensor) AddInPlace(other *Tensor) {
 func (t *Tensor) Scale(s float64) {
 	for i := range t.Data {
 		t.Data[i] *= s
+	}
+}
+
+// AddRowBroadcast adds the 1 x Cols row vector to every row of t — the
+// inference-mode bias addition (the tape path adds the bias to one row
+// at a time; per element the operation is identical).
+func (t *Tensor) AddRowBroadcast(row *Tensor) {
+	if row.Rows != 1 || row.Cols != t.Cols {
+		panic(fmt.Sprintf("nn: broadcast add %dx%d onto %dx%d", row.Rows, row.Cols, t.Rows, t.Cols))
+	}
+	for r := 0; r < t.Rows; r++ {
+		d := t.Data[r*t.Cols : (r+1)*t.Cols]
+		for j, v := range row.Data {
+			d[j] += v
+		}
+	}
+}
+
+// ReLUInPlace clamps negative elements to zero.
+func (t *Tensor) ReLUInPlace() {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
 	}
 }
 

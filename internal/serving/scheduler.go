@@ -25,8 +25,9 @@ import (
 // Batch size therefore follows the instantaneous load — that is the
 // "adaptive" in adaptive micro-batching. Batches drain through
 // Estimator.PredictBatch, so a wall of independent /v1/predict clients
-// exercises the same worker-pool inference path as one explicit
-// /v1/predict_batch call.
+// exercises the same batched-inference path as one explicit
+// /v1/predict_batch call — for a fusing estimator (costmodel.Fused)
+// every coalesced micro-batch is one fused forward pass.
 type scheduler struct {
 	maxBatch int
 	maxWait  time.Duration
@@ -44,10 +45,11 @@ type scheduler struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	batches   metrics.Counter
-	items     metrics.Counter
-	coalesced metrics.HitCounter // hit: request shared its batch with others
-	maxSeen   atomic.Int64
+	batches    metrics.Counter
+	items      metrics.Counter
+	coalesced  metrics.HitCounter // hit: request shared its batch with others
+	maxSeen    atomic.Int64
+	batchSizes *metrics.Window // distribution of flushed batch sizes
 }
 
 // modelQueue is one model name's pending singles. Queues live for the
@@ -73,9 +75,10 @@ type schedResult struct {
 
 func newScheduler(maxBatch int, maxWait time.Duration) *scheduler {
 	return &scheduler{
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		queues:   map[string]*modelQueue{},
+		maxBatch:   maxBatch,
+		maxWait:    maxWait,
+		queues:     map[string]*modelQueue{},
+		batchSizes: metrics.NewWindow(0),
 	}
 }
 
@@ -219,6 +222,7 @@ func (s *scheduler) flush(q *modelQueue, batch []*schedRequest) {
 	}
 	s.batches.Inc()
 	s.items.Add(int64(len(live)))
+	s.batchSizes.Observe(float64(len(live)))
 	if len(live) > 1 {
 		s.coalesced.HitN(int64(len(live)))
 	} else {
@@ -252,13 +256,16 @@ func (s *scheduler) flush(q *modelQueue, batch []*schedRequest) {
 
 // SchedulerStats reports micro-batching behavior: how many batches
 // flushed, how many singles they carried, the share of singles that
-// actually shared a batch, and the largest batch observed.
+// actually shared a batch, the largest batch observed, and the recent
+// batch-size distribution — the observable shape of the coalescer
+// feeding real fused batches into Estimator.PredictBatch.
 type SchedulerStats struct {
-	Batches       int64           `json:"batches"`
-	Items         int64           `json:"items"`
-	MeanBatchSize float64         `json:"mean_batch_size"`
-	MaxBatchSize  int64           `json:"max_batch_size"`
-	Coalesced     metrics.HitRate `json:"coalesced"`
+	Batches       int64                 `json:"batches"`
+	Items         int64                 `json:"items"`
+	MeanBatchSize float64               `json:"mean_batch_size"`
+	MaxBatchSize  int64                 `json:"max_batch_size"`
+	Coalesced     metrics.HitRate       `json:"coalesced"`
+	BatchSizes    metrics.WindowSummary `json:"batch_sizes"`
 }
 
 func (s *scheduler) stats() SchedulerStats {
@@ -267,6 +274,7 @@ func (s *scheduler) stats() SchedulerStats {
 		Items:        s.items.Value(),
 		MaxBatchSize: s.maxSeen.Load(),
 		Coalesced:    s.coalesced.Snapshot(),
+		BatchSizes:   s.batchSizes.Snapshot(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchSize = float64(st.Items) / float64(st.Batches)

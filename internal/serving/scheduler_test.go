@@ -55,6 +55,12 @@ func TestSchedulerCoalesces(t *testing.T) {
 	if st.MaxBatchSize < 2 || st.Coalesced.Hits == 0 {
 		t.Fatalf("scheduler stats show no shared batches: %+v", st)
 	}
+	if st.BatchSizes.Count != st.Batches || int64(st.BatchSizes.Max) != st.MaxBatchSize {
+		t.Fatalf("batch-size distribution inconsistent with counters: %+v", st)
+	}
+	if st.BatchSizes.P95 < st.BatchSizes.P50 || st.BatchSizes.P50 < 1 {
+		t.Fatalf("degenerate batch-size quantiles: %+v", st.BatchSizes)
+	}
 	if got := est.batchCalls.Load(); got != st.Batches {
 		t.Fatalf("estimator saw %d batch calls, scheduler counted %d", got, st.Batches)
 	}

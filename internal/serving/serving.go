@@ -17,8 +17,10 @@
 // concurrent singles into adaptive micro-batches (bounded by a max batch
 // size and a max-wait deadline) draining through Estimator.PredictBatch —
 // p50 single-request traffic gets batched-inference throughput without
-// clients ever forming batches themselves. Explicit batches bypass the
-// scheduler and fan out directly.
+// clients ever forming batches themselves, and with a fusing estimator
+// (the zero-shot model) each micro-batch executes as one fused forward
+// pass. Explicit batches bypass the scheduler and drain through
+// PredictBatch directly.
 //
 // Every stage records latencies into internal/metrics recorders and the
 // caches record hit rates; Stats snapshots the lot for a /v1/stats

@@ -134,19 +134,14 @@ func (m *Model) forward(tp *nn.Tape, g *encoding.Graph) *nn.Var {
 }
 
 // Predict returns the predicted runtime in seconds for an encoded plan.
+// It runs the tape-building forward pass — the reference implementation
+// the fused PredictBatch is pinned bitwise-equal to; batch callers
+// should prefer PredictBatch, which skips tape and gradient allocation
+// entirely.
 func (m *Model) Predict(g *encoding.Graph) float64 {
 	tp := nn.NewTape()
 	out := m.forward(tp, g)
-	logRT := out.Val.Data[0]
-	// Clamp to a sane runtime band (1 microsecond .. ~3 hours) so a wild
-	// extrapolation cannot overflow downstream metrics.
-	if logRT > 9.2 {
-		logRT = 9.2
-	}
-	if logRT < -13.8 {
-		logRT = -13.8
-	}
-	return math.Exp(logRT)
+	return runtimeFromLog(out.Val.Data[0])
 }
 
 // TrainResult reports the per-epoch mean training loss.
