@@ -217,6 +217,29 @@ func BenchmarkOnlineAdaptation(b *testing.B) {
 	}
 }
 
+// BenchmarkWhatIfAdvisor runs E10: a full what-if sweep on the unseen
+// database — enumerated candidates, the whole (variant × statement)
+// cross product priced through one fused batch — verified against the
+// executed ground truth of the same variants. sweep-ns/item is directly
+// comparable to E9's fused per-item rate.
+func BenchmarkWhatIfAdvisor(b *testing.B) {
+	env := sharedBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WhatIfAdvisor(env, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerItem, "sweep-ns/item")
+		b.ReportMetric(float64(res.Items), "items")
+		b.ReportMetric(res.RankCorr, "rank-corr")
+		top1 := 0.0
+		if res.Top1Agrees {
+			top1 = 1
+		}
+		b.ReportMetric(top1, "top1-agrees")
+	}
+}
+
 var (
 	ablOnce sync.Once
 	ablRes  *experiments.AblationResult

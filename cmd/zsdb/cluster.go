@@ -10,6 +10,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
 	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // clusterServer is the HTTP shim over a cluster.Router — the cluster
@@ -40,6 +41,7 @@ func (s *clusterServer) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
 	return mux
@@ -263,6 +265,38 @@ func (s *clusterServer) handlePredictBatch(w http.ResponseWriter, r *http.Reques
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// handleWhatIf routes a what-if sweep to the replica owning the
+// database, like a predict — the owner's what-if caches stay hot.
+func (s *clusterServer) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req whatIfRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.SQL) == 0 {
+		httpError(w, http.StatusBadRequest, "sql array is required")
+		return
+	}
+	if len(req.SQL) > maxBatch {
+		httpError(w, http.StatusBadRequest, "workload of %d exceeds limit %d", len(req.SQL), maxBatch)
+		return
+	}
+	rep, err := s.router.WhatIf(r.Context(), req.DB, req.Model, whatif.Request{
+		SQL:           req.SQL,
+		Candidates:    req.Candidates,
+		MaxCandidates: req.MaxCandidates,
+	})
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 func (s *clusterServer) handleFeedback(w http.ResponseWriter, r *http.Request) {

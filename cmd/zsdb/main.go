@@ -11,6 +11,7 @@
 //	zsdb fewshot  [-scale small|full]      few-shot vs from-scratch (E6)
 //	zsdb ablation [-scale small|full]      ablations A1-A3
 //	zsdb online   [-scale small|full]      online adaptation q-error curve (E7)
+//	zsdb whatif   [-scale small|full]      advisor sweep vs executed truth (E10)
 //	zsdb all      [-scale small|full]      everything above, in order
 //	zsdb train    [-estimator zeroshot] [-card estimated] -out model.gob
 //	                                       train a registry estimator and save it
@@ -18,6 +19,7 @@
 //	zsdb serve    -models m1.gob,m2.gob    HTTP prediction service (see below)
 //	zsdb route    -backends h1:8080,h2:8080  consistent-hash router over serve nodes
 //	zsdb explain  -sql "SELECT ..."        plan, execute and explain a query
+//	zsdb advise   -model m.gob -workload f what-if index advisor over a workload
 //	zsdb gendata  [-seed N]                print a generated schema (debugging)
 //
 // Saved model files are self-describing: eval, serve and explain
@@ -35,6 +37,7 @@
 //	GET  /v1/stats          uptime, stage latencies, hit rates, batching, generations
 //	POST /v1/predict        {"db":"imdb","model":"zeroshot","sql":"SELECT ..."}
 //	POST /v1/predict_batch  {"db":"imdb","model":"zeroshot","sql":["...", ...]}
+//	POST /v1/whatif         {"db":"imdb","sql":["..."],"candidates":["t.col", ...]}
 //	POST /v1/feedback       {"db":"imdb","fingerprint":"...","actual_runtime_sec":0.25}
 //	GET  /v1/adapt/status   feedback windows, drift, swap counters (-adapt only)
 //
@@ -169,6 +172,15 @@ func run(cmd string, args []string) error {
 			fmt.Print(res.Render())
 			return nil
 		})
+	case "whatif":
+		return withEnv(args, func(env *experiments.Env) error {
+			res, err := experiments.WhatIfAdvisor(env, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			return nil
+		})
 	case "all":
 		return withEnv(args, runAll)
 	case "train":
@@ -181,6 +193,8 @@ func run(cmd string, args []string) error {
 		return runRoute(args)
 	case "explain":
 		return runExplain(args)
+	case "advise":
+		return runAdvise(args)
 	case "gendata":
 		return runGendata(args)
 	default:
@@ -189,7 +203,7 @@ func run(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|all|train|eval|serve|route|explain|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|whatif|all|train|eval|serve|route|explain|advise|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.

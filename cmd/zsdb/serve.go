@@ -22,6 +22,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // server is the HTTP shim over a serving.Session: handlers decode JSON,
@@ -47,6 +48,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/predict_batch", s.handlePredictBatch)
+	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
 	return mux
@@ -335,6 +337,48 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// whatIfRequest is the /v1/whatif body: the workload to sweep and
+// optional explicit index candidates ("table.column"); with none, the
+// server enumerates candidates from the schema's foreign keys and the
+// workload's filter columns.
+type whatIfRequest struct {
+	DB            string   `json:"db"`
+	Model         string   `json:"model"`
+	SQL           []string `json:"sql"`
+	Candidates    []string `json:"candidates"`
+	MaxCandidates int      `json:"max_candidates"`
+}
+
+func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req whatIfRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.SQL) == 0 {
+		httpError(w, http.StatusBadRequest, "sql array is required")
+		return
+	}
+	if len(req.SQL) > maxBatch {
+		httpError(w, http.StatusBadRequest, "workload of %d exceeds limit %d", len(req.SQL), maxBatch)
+		return
+	}
+	rep, err := s.sess.WhatIf(r.Context(), req.DB, req.Model, whatif.Request{
+		SQL:           req.SQL,
+		Candidates:    req.Candidates,
+		MaxCandidates: req.MaxCandidates,
+	})
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // buildDatabase constructs one named serving database kind.

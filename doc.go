@@ -34,13 +34,18 @@
 //     nodes, health-checked failover, bounded fan-out aggregation) over
 //     replica backends, in-process or remote HTTP, plus a deterministic
 //     fault-injection simulation harness (internal/cluster/sim)
+//   - internal/whatif — the Section 4.1 what-if index advisor as a
+//     subsystem: candidate enumeration, a copy-on-write hypothetical
+//     catalog, and a sweep executor that prices every (variant × query)
+//     pair in one fused batch — served as POST /v1/whatif and
+//     `zsdb advise` (see DESIGN.md's "The what-if sweep layer")
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation by iterating over registry estimators
 //   - cmd/zsdb — the experiment driver CLI and the `zsdb serve` HTTP
-//     prediction service (POST /v1/predict, /v1/predict_batch, the
-//     -adapt feedback loop via /v1/feedback, and -replicas N for the
-//     single-binary cluster), with `zsdb route` as the multi-process
-//     routing tier over remote serve nodes
+//     prediction service (POST /v1/predict, /v1/predict_batch,
+//     /v1/whatif, the -adapt feedback loop via /v1/feedback, and
+//     -replicas N for the single-binary cluster), with `zsdb route` as
+//     the multi-process routing tier over remote serve nodes
 //   - examples/ — runnable walkthroughs (quickstart, index advisor,
 //     few-shot adaptation, learned join ordering)
 //

@@ -2,18 +2,22 @@
 // model trained on other databases (with and without random indexes)
 // predicts how a workload's runtime on an UNSEEN database would change if
 // a candidate index existed — and ranks the candidates without executing
-// anything. The example then verifies the ranking by actually building the
-// indexes and executing the workload.
+// anything. The prediction side runs through the internal/whatif
+// subsystem (the same sweep `zsdb advise` and POST /v1/whatif serve): the
+// whole (candidate × query) cross product is priced in ONE fused batch.
+// The example then verifies the ranking by actually building the indexes
+// and executing the workload.
 //
 // Run with: go run ./examples/indexadvisor
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sort"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/engine"
@@ -22,7 +26,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/query"
 	"github.com/zeroshot-db/zeroshot/internal/stats"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
-	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 func main() {
@@ -49,30 +53,40 @@ func main() {
 	// always tuned for a concrete workload).
 	workload := targetedWorkload(db, candidates, 40)
 
-	fmt.Println("predicted workload runtime under each hypothetical index (what-if):")
-	type ranked struct {
-		index     string
-		predicted float64
-		actual    float64
+	// The what-if sweep: validate the candidates, overlay each as a
+	// hypothetical variant on a copy-on-write catalog, and price every
+	// (variant × query) pair in one fused prediction batch. Nothing here
+	// executes a query or mutates the database.
+	cands, err := whatif.Enumerate(db.Schema, workload, candidates, 0)
+	if err != nil {
+		log.Fatal(err)
 	}
-	baselinePred := predictWorkload(model, db, workload, nil)
-	baselineActual := executeWorkload(db, workload, nil)
-	fmt.Printf("  %-32s predicted %8.2fs   actual %8.2fs\n", "(no index)", baselinePred, baselineActual)
+	variants := make([]whatif.Variant, len(cands))
+	for i, c := range cands {
+		variants[i] = whatif.Variant{Name: c.Index, Indexes: []string{c.Index}}
+	}
+	cat := whatif.NewCatalog(db, nil, optimizer.DefaultCostParams(), 0)
+	rep, err := cat.Sweep(context.Background(), model, whatif.Statements(workload), variants)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var results []ranked
-	for _, cand := range candidates {
-		idx := optimizer.IndexSet{cand: true}
-		results = append(results, ranked{
-			index:     cand,
-			predicted: predictWorkload(model, db, workload, idx),
-			actual:    executeWorkload(db, workload, idx),
-		})
+	fmt.Println("predicted workload runtime under each hypothetical index (what-if):")
+	fmt.Printf("  %-32s predicted %8.2fs   actual %8.2fs\n",
+		"(no index)", rep.Baseline.TotalSec, executeWorkload(db, workload, nil))
+	for _, v := range rep.Variants {
+		idx := optimizer.IndexSet{}
+		for _, k := range v.Indexes {
+			idx[k] = true
+		}
+		fmt.Printf("  %-32s predicted %8.2fs   actual %8.2fs\n",
+			v.Name, v.TotalSec, executeWorkload(db, workload, idx))
 	}
-	sort.Slice(results, func(a, b int) bool { return results[a].predicted < results[b].predicted })
-	for _, r := range results {
-		fmt.Printf("  %-32s predicted %8.2fs   actual %8.2fs\n", r.index, r.predicted, r.actual)
+	if rep.Recommendation != "" {
+		fmt.Printf("\nadvisor recommends: CREATE INDEX ON %s\n", rep.Recommendation)
+	} else {
+		fmt.Println("\nadvisor recommends: keep the baseline (no candidate helps)")
 	}
-	fmt.Printf("\nadvisor recommends: CREATE INDEX ON %s\n", results[0].index)
 	fmt.Println("(predictions come from a model that never saw this database)")
 }
 
@@ -107,16 +121,16 @@ func targetedWorkload(db *storage.Database, candidates []string, n int) []*query
 	return out
 }
 
-// trainWhatIfModel trains a zero-shot model on plain and index workloads of
-// three synthetic databases, so it learns how index scans change runtimes.
-func trainWhatIfModel() *zeroshot.Model {
+// trainWhatIfModel trains a zero-shot estimator on plain and index
+// workloads of three synthetic databases, so it learns how index scans
+// change runtimes.
+func trainWhatIfModel() costmodel.Estimator {
 	corpus, err := datagen.TrainingCorpus(3, 21, datagen.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	var samples []zeroshot.Sample
+	var samples []costmodel.Sample
 	for i, db := range corpus {
-		enc := encoding.NewPlanEncoder(db.Schema, encoding.CardEstimated)
 		for variant, idx := range map[int64]optimizer.IndexSet{
 			0: nil,
 			1: collect.RandomIndexes(db, int64(i+50), 0.8, 0.3),
@@ -129,49 +143,25 @@ func trainWhatIfModel() *zeroshot.Model {
 			if err != nil {
 				log.Fatal(err)
 			}
-			for _, r := range recs {
-				g, err := enc.Encode(r.Plan)
-				if err != nil {
-					log.Fatal(err)
-				}
-				samples = append(samples, zeroshot.Sample{Graph: g, RuntimeSec: r.RuntimeSec})
-			}
+			samples = append(samples, costmodel.FromRecords(db, recs)...)
 		}
 	}
-	cfg := zeroshot.DefaultConfig()
-	cfg.Hidden = 24
-	cfg.Epochs = 14
-	m := zeroshot.New(cfg)
-	if _, err := m.Train(samples); err != nil {
+	est, err := costmodel.New(costmodel.NameZeroShot, costmodel.Options{
+		Hidden: 24, Epochs: 14, Seed: 1, Card: encoding.CardEstimated,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := est.Fit(context.Background(), samples); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained what-if model on %d plans from 3 other databases\n\n", len(samples))
-	return m
-}
-
-// predictWorkload sums the model's predicted runtimes of the workload
-// planned under the hypothetical index set — no execution involved.
-func predictWorkload(m *zeroshot.Model, db *storage.Database, qs []*query.Query, idx optimizer.IndexSet) float64 {
-	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
-	opt := optimizer.New(db.Schema, st, idx, optimizer.DefaultCostParams())
-	enc := encoding.NewPlanEncoder(db.Schema, encoding.CardEstimated)
-	total := 0.0
-	for _, q := range qs {
-		p, err := opt.Plan(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err := enc.Encode(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		total += m.Predict(g)
-	}
-	return total
+	return est
 }
 
 // executeWorkload measures the simulated runtime of the workload with the
-// index set actually materialized.
+// index set actually materialized — the ground truth the what-if sweep's
+// predictions are checked against.
 func executeWorkload(db *storage.Database, qs []*query.Query, idx optimizer.IndexSet) float64 {
 	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
 	opt := optimizer.New(db.Schema, st, idx, optimizer.DefaultCostParams())

@@ -31,6 +31,7 @@ import (
 	"errors"
 
 	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // ErrBackendDown marks a replica-level failure: the backend crashed,
@@ -69,6 +70,11 @@ type Backend interface {
 	// PredictBatch prices many statements; per-item pipeline errors ride
 	// in the result, the error return is request-level.
 	PredictBatch(ctx context.Context, db, model string, sqls []string) (serving.BatchResult, error)
+	// WhatIf runs one what-if sweep against the backend's copy of db.
+	// Like Feedback it wants the owner: the sweep's prepared-plan and
+	// encoded-graph caches live on the replica that serves the
+	// database's predictions.
+	WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error)
 	// Feedback hands an observed runtime to the backend's adaptation
 	// loop. It must reach the replica owning db — that replica's plan
 	// cache retains the fingerprint's plan and its windows buffer the

@@ -16,6 +16,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // ---- scripted fake backend (no serving pipeline) --------------------
@@ -31,6 +32,7 @@ type fakeBackend struct {
 	slow      time.Duration // calls stall this long (checking ctx)
 	dbs       map[string]bool
 	predicts  int
+	whatifs   int
 	feedbacks map[string]int // db -> count
 }
 
@@ -111,6 +113,27 @@ func (f *fakeBackend) PredictBatch(ctx context.Context, db, model string, sqls [
 	}
 	return res, nil
 }
+
+func (f *fakeBackend) WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error) {
+	if err := f.gate(ctx, db, true); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.whatifs++
+	f.mu.Unlock()
+	rep := &whatif.Report{Database: db, Model: model, Items: len(req.SQL) * (len(req.Candidates) + 1)}
+	for _, sql := range req.SQL {
+		rep.Baseline.Queries = append(rep.Baseline.Queries, whatif.QueryResult{SQL: sql})
+		rep.Baseline.TotalSec += fakePrediction(db, model, sql).RuntimeSec
+	}
+	rep.Baseline.Name = "baseline"
+	for _, c := range req.Candidates {
+		rep.Variants = append(rep.Variants, whatif.VariantResult{Name: c, Indexes: []string{c}, TotalSec: rep.Baseline.TotalSec / 2})
+	}
+	return rep, nil
+}
+
+func (f *fakeBackend) whatifCount() int { f.mu.Lock(); defer f.mu.Unlock(); return f.whatifs }
 
 func (f *fakeBackend) Feedback(ctx context.Context, db, fingerprint string, actualSec float64) error {
 	if err := f.gate(ctx, db, true); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // HTTPBackend is a Backend over a remote `zsdb serve` process: the
@@ -187,6 +188,33 @@ func (b *HTTPBackend) PredictBatch(ctx context.Context, db, model string, sqls [
 		}
 	}
 	return res, nil
+}
+
+// whatIfRequest mirrors the serve API's /v1/whatif body: the sweep
+// request plus the routing fields.
+type whatIfRequest struct {
+	DB            string   `json:"db,omitempty"`
+	Model         string   `json:"model,omitempty"`
+	SQL           []string `json:"sql"`
+	Candidates    []string `json:"candidates,omitempty"`
+	MaxCandidates int      `json:"max_candidates,omitempty"`
+}
+
+// WhatIf implements Backend. whatif.Report's JSON tags are the wire
+// format, so the reply decodes straight into it.
+func (b *HTTPBackend) WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error) {
+	var out whatif.Report
+	err := b.do(ctx, http.MethodPost, "/v1/whatif", whatIfRequest{
+		DB:            db,
+		Model:         model,
+		SQL:           req.SQL,
+		Candidates:    req.Candidates,
+		MaxCandidates: req.MaxCandidates,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // feedbackRequest mirrors /v1/feedback.

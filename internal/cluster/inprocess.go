@@ -7,6 +7,7 @@ import (
 
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // InProcess adapts one serving.Session (and optionally its adapt.Loop)
@@ -65,6 +66,13 @@ func (b *InProcess) Predict(ctx context.Context, db, model, sql string) (serving
 // estimator price it as one fused forward pass.
 func (b *InProcess) PredictBatch(ctx context.Context, db, model string, sqls []string) (serving.BatchResult, error) {
 	r, err := b.sess.PredictBatch(ctx, db, model, sqls)
+	return r, downgrade(err)
+}
+
+// WhatIf implements Backend: the sweep runs on this replica's session,
+// warming (and reusing) its what-if catalog caches.
+func (b *InProcess) WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error) {
+	r, err := b.sess.WhatIf(ctx, db, model, req)
 	return r, downgrade(err)
 }
 

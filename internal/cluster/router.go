@@ -11,6 +11,7 @@ import (
 
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // Config sizes a Router. Zero values select the defaults.
@@ -287,6 +288,22 @@ func (r *Router) PredictBatch(ctx context.Context, db, model string, sqls []stri
 		res, err := b.PredictBatch(ctx, db, model, sqls)
 		if err == nil {
 			out = res
+		}
+		return err
+	})
+	return out, err
+}
+
+// WhatIf routes one what-if sweep to the replica owning db, exactly
+// like Predict: the owner's prepared-plan and encoded-graph caches are
+// warm with the database's workload, so repeated sweeps (an advisor
+// iterating on candidates) skip planning and encoding entirely.
+func (r *Router) WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error) {
+	var out *whatif.Report
+	err := r.attempt(ctx, db, func(ctx context.Context, b Backend) error {
+		rep, err := b.WhatIf(ctx, db, model, req)
+		if err == nil {
+			out = rep
 		}
 		return err
 	})

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // FeedbackRecord is one feedback a Replica accepted.
@@ -165,6 +167,55 @@ func (r *Replica) PredictBatch(ctx context.Context, db, model string, sqls []str
 		res.Items[i].RuntimeSec = predictValue(db, sql)
 	}
 	return res, nil
+}
+
+// WhatIf implements cluster.Backend: a deterministic stub — each
+// candidate variant's total is the pure per-statement answer scaled by
+// a candidate-derived factor, so any two replicas rank identically and
+// the harness can assert where sweeps landed via Predicts.
+func (r *Replica) WhatIf(ctx context.Context, db, model string, req whatif.Request) (*whatif.Report, error) {
+	if err := r.gate(ctx); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.predicts[db] += len(req.SQL) * (len(req.Candidates) + 1)
+	r.mu.Unlock()
+	base := 0.0
+	for _, sql := range req.SQL {
+		base += predictValue(db, sql)
+	}
+	rep := &whatif.Report{
+		Database: db,
+		Model:    model,
+		Baseline: whatif.VariantResult{Name: "baseline", TotalSec: base},
+		Items:    len(req.SQL) * (len(req.Candidates) + 1),
+	}
+	for _, c := range req.Candidates {
+		scale := 0.5 + float64(fnvHash(c)%50)/100 // deterministic in [0.5, 1)
+		rep.Variants = append(rep.Variants, whatif.VariantResult{
+			Name:     c,
+			Indexes:  []string{c},
+			TotalSec: base * scale,
+			SpeedupX: 1 / scale,
+		})
+	}
+	sort.Slice(rep.Variants, func(a, b int) bool {
+		if rep.Variants[a].TotalSec != rep.Variants[b].TotalSec {
+			return rep.Variants[a].TotalSec < rep.Variants[b].TotalSec
+		}
+		return rep.Variants[a].Name < rep.Variants[b].Name
+	})
+	if len(rep.Variants) > 0 && rep.Variants[0].TotalSec < base {
+		rep.Recommendation = rep.Variants[0].Name
+	}
+	return rep, nil
+}
+
+// fnvHash hashes one string for the scripted what-if answer function.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
 }
 
 // Feedback implements cluster.Backend.

@@ -59,6 +59,12 @@ type PlanInput struct {
 	// OptimizerCost is the analytical total cost estimate (required by
 	// ScaledCost).
 	OptimizerCost float64
+	// Enc optionally memoizes this plan's graph encodings per encoder.
+	// Callers that retain inputs (plan caches, what-if sweeps) attach one
+	// so repeated predictions of the same shape skip re-encoding; nil
+	// disables memoization. The pointer is shared by every value copy of
+	// the PlanInput, so a hit anywhere warms all holders.
+	Enc *EncodedPlan
 }
 
 // Sample is one training example: a PlanInput and its measured runtime.

@@ -1,0 +1,55 @@
+package costmodel
+
+import (
+	"sync"
+
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+)
+
+// EncodedPlan memoizes the graph encodings of one physical plan, keyed by
+// the encoder that produced them. It rides along inside a PlanInput: the
+// serving pipeline attaches one to every input it retains in a plan
+// cache, so a repeated query shape pays PlanEncoder.Encode once and every
+// later prediction — single, batched, or fused — reuses the graph. The
+// key is the encoder pointer, not the schema: two estimators with
+// different cardinality sources encode the same plan differently and
+// must not share entries.
+//
+// Entries live exactly as long as the PlanInput that carries them (plan
+// caches are bounded LRUs), so the memo needs no eviction of its own.
+// Graphs are treated as immutable by every consumer — the fused batch
+// packer and the tape forward both only read them — which is what makes
+// sharing one graph across concurrent predictions safe.
+type EncodedPlan struct {
+	mu     sync.Mutex
+	graphs map[*encoding.PlanEncoder]*encoding.Graph
+}
+
+// NewEncodedPlan returns an empty memo ready to attach to a PlanInput.
+func NewEncodedPlan() *EncodedPlan { return &EncodedPlan{} }
+
+// Lookup returns the memoized graph for the encoder, if present.
+func (m *EncodedPlan) Lookup(enc *encoding.PlanEncoder) (*encoding.Graph, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.graphs[enc]
+	return g, ok
+}
+
+// Store records the encoder's graph for the plan. Concurrent stores for
+// the same encoder are benign: both graphs encode the same plan, and
+// last-write-wins keeps exactly one alive.
+func (m *EncodedPlan) Store(enc *encoding.PlanEncoder, g *encoding.Graph) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.graphs == nil {
+		m.graphs = map[*encoding.PlanEncoder]*encoding.Graph{}
+	}
+	m.graphs[enc] = g
+}

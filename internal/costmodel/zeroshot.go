@@ -62,7 +62,16 @@ func (z *ZeroShot) encode(in PlanInput) (*encoding.Graph, error) {
 	if in.DB == nil || in.Plan == nil {
 		return nil, fmt.Errorf("zeroshot estimator needs DB and Plan inputs")
 	}
-	return z.encoderFor(in.DB.Schema).Encode(in.Plan)
+	enc := z.encoderFor(in.DB.Schema)
+	if g, ok := in.Enc.Lookup(enc); ok {
+		return g, nil
+	}
+	g, err := enc.Encode(in.Plan)
+	if err != nil {
+		return nil, err
+	}
+	in.Enc.Store(enc, g)
+	return g, nil
 }
 
 func (z *ZeroShot) samples(samples []Sample) ([]zeroshot.Sample, error) {

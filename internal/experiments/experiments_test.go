@@ -325,6 +325,50 @@ func TestOnlineAdaptation(t *testing.T) {
 	}
 }
 
+// TestWhatIfAdvisor runs E10 at test scale: the sweep must price the
+// whole cross product in one batch-shaped pass, the ranking must be
+// verifiable against executed ground truth, and the report must carry
+// the throughput and agreement numbers EXPERIMENTS.md records.
+func TestWhatIfAdvisor(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := WhatIfAdvisor(env, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != 24 || res.Candidates == 0 {
+		t.Fatalf("sweep sized %d statements x %d candidates", res.Workload, res.Candidates)
+	}
+	if want := (res.Candidates + 1) * res.Workload; res.Items != want {
+		t.Fatalf("Items = %d, want %d", res.Items, want)
+	}
+	if len(res.Variants) != res.Candidates {
+		t.Fatalf("%d outcomes for %d candidates", len(res.Variants), res.Candidates)
+	}
+	if res.NsPerItem <= 0 {
+		t.Fatalf("ns/item = %v", res.NsPerItem)
+	}
+	if res.Baseline.PredictedSec <= 0 || res.Baseline.ActualSec <= 0 {
+		t.Fatalf("baseline = %+v", res.Baseline)
+	}
+	for i, o := range res.Variants {
+		if o.PredictedSec <= 0 || o.ActualSec <= 0 {
+			t.Fatalf("outcome %d = %+v", i, o)
+		}
+		if i > 0 && res.Variants[i-1].PredictedSec > o.PredictedSec {
+			t.Fatal("outcomes not in predicted ranking order")
+		}
+	}
+	if res.RankCorr < -1 || res.RankCorr > 1 {
+		t.Fatalf("rank correlation %v out of range", res.RankCorr)
+	}
+	if res.Recommendation != "" && res.Recommendation != res.Variants[0].Name {
+		t.Fatalf("recommendation %q is not the top-ranked variant %q", res.Recommendation, res.Variants[0].Name)
+	}
+	if !strings.Contains(res.Render(), "what-if advisor") {
+		t.Error("Render() missing label")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	env := sharedEnv(t)
 	res, err := Ablations(env)

@@ -3,6 +3,8 @@ package serving
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
@@ -13,6 +15,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
 	"github.com/zeroshot-db/zeroshot/internal/stats"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
+	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
 // Pipeline-stage names, in execution order. They key the per-stage
@@ -58,9 +61,18 @@ type pipelineQuery struct {
 type dbSession struct {
 	name  string
 	db    *storage.Database
+	st    *stats.DBStats
 	opt   *optimizer.Optimizer
 	cache *costmodel.PlanCache
 	lat   map[string]*metrics.LatencyRecorder
+
+	// hypo is the what-if layer: a copy-on-write hypothetical catalog
+	// sharing this database's statistics, built lazily on the first
+	// sweep so databases that never see an advise request pay nothing.
+	// (Atomic rather than once-guarded field access so Stats can peek
+	// without synchronizing with a concurrent first sweep.)
+	hypoOnce sync.Once
+	hypo     atomic.Pointer[whatif.Catalog]
 }
 
 func newDBSession(name string, db *storage.Database, cacheSize int) *dbSession {
@@ -68,6 +80,7 @@ func newDBSession(name string, db *storage.Database, cacheSize int) *dbSession {
 	d := &dbSession{
 		name:  name,
 		db:    db,
+		st:    st,
 		opt:   optimizer.New(db.Schema, st, nil, optimizer.DefaultCostParams()),
 		cache: costmodel.NewPlanCache(cacheSize),
 		lat:   map[string]*metrics.LatencyRecorder{},
@@ -141,19 +154,38 @@ func (d *dbSession) featurizeStage(pq *pipelineQuery) error {
 		Query:         pq.q,
 		Plan:          pq.p,
 		OptimizerCost: optimizer.TotalCost(pq.p),
+		// The encoding memo lives and dies with the plan-cache entry:
+		// the first prediction of this shape encodes the graph, every
+		// repeat skips PlanEncoder.Encode entirely.
+		Enc: costmodel.NewEncodedPlan(),
 	}
 	return nil
 }
 
-// stats snapshots the database's stage latencies and plan cache.
+// catalog returns the database's what-if layer, building it on first
+// use. The catalog shares the session's collected statistics; its
+// prepared-plan cache is sized like the main plan cache.
+func (d *dbSession) catalog(cacheSize int) *whatif.Catalog {
+	d.hypoOnce.Do(func() {
+		d.hypo.Store(whatif.NewCatalog(d.db, d.st, optimizer.DefaultCostParams(), cacheSize))
+	})
+	return d.hypo.Load()
+}
+
+// stats snapshots the database's stage latencies and plan caches.
 func (d *dbSession) stats() DatabaseStats {
 	stages := make(map[string]metrics.LatencySummary, len(d.lat))
 	for name, l := range d.lat {
 		stages[name] = l.Snapshot()
 	}
-	return DatabaseStats{
+	ds := DatabaseStats{
 		Database:  d.name,
 		PlanCache: d.cache.Stats(),
 		Stages:    stages,
 	}
+	if c := d.hypo.Load(); c != nil {
+		cs := c.CacheStats()
+		ds.WhatIfCache = &cs
+	}
+	return ds
 }

@@ -148,6 +148,10 @@ type Session struct {
 	requests metrics.Counter
 	errs     metrics.Counter
 	predict  metrics.LatencyRecorder
+
+	sweeps     metrics.Counter
+	sweepLat   metrics.LatencyRecorder
+	sweepSizes *metrics.Window
 }
 
 // modelSlot is one attached model name's current estimator plus its
@@ -165,11 +169,12 @@ type modelSlot struct {
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	s := &Session{
-		cfg:     cfg,
-		sched:   newScheduler(cfg.MaxBatch, cfg.MaxWait),
-		started: time.Now(),
-		dbs:     map[string]*dbSession{},
-		models:  map[string]*modelSlot{},
+		cfg:        cfg,
+		sched:      newScheduler(cfg.MaxBatch, cfg.MaxWait),
+		started:    time.Now(),
+		dbs:        map[string]*dbSession{},
+		models:     map[string]*modelSlot{},
+		sweepSizes: metrics.NewWindow(0),
 	}
 	// Micro-batches always flush through the name's currently attached
 	// generation, so a hot-swap takes effect even for already-queued
@@ -582,6 +587,17 @@ type Stats struct {
 	// name has been (re-)attached and when the serving generation last
 	// changed — the observable trace of adaptation hot-swaps.
 	Models []ModelStats `json:"models"`
+	// WhatIf reports what-if sweep traffic.
+	WhatIf WhatIfStats `json:"whatif"`
+}
+
+// WhatIfStats summarizes the session's what-if sweeps: how many ran,
+// end-to-end sweep latency, and the distribution of fused batch sizes
+// (priced variant × statement pairs per sweep).
+type WhatIfStats struct {
+	Sweeps     int64                  `json:"sweeps"`
+	Latency    metrics.LatencySummary `json:"latency"`
+	BatchSizes metrics.WindowSummary  `json:"batch_sizes"`
 }
 
 // ModelStats is one attached model's generation view.
@@ -596,6 +612,9 @@ type DatabaseStats struct {
 	Database  string                            `json:"db"`
 	PlanCache costmodel.PlanCacheStats          `json:"plan_cache"`
 	Stages    map[string]metrics.LatencySummary `json:"stages"`
+	// WhatIfCache snapshots the what-if layer's prepared-plan cache;
+	// absent until the database's first sweep builds the catalog.
+	WhatIfCache *costmodel.PlanCacheStats `json:"whatif_cache,omitempty"`
 }
 
 // Stats snapshots the session's counters, stage latencies, cache hit
@@ -636,6 +655,11 @@ func (s *Session) Stats() Stats {
 	s.mu.RUnlock()
 	st.Predict = s.predict.Snapshot()
 	st.Scheduler = s.sched.stats()
+	st.WhatIf = WhatIfStats{
+		Sweeps:     s.sweeps.Value(),
+		Latency:    s.sweepLat.Snapshot(),
+		BatchSizes: s.sweepSizes.Snapshot(),
+	}
 	st.Databases = make([]DatabaseStats, 0, len(dbs))
 	for _, d := range dbs {
 		st.Databases = append(st.Databases, d.stats())

@@ -1,0 +1,114 @@
+package whatif
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/stats"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+var (
+	swOnce sync.Once
+	swDB   *storage.Database
+	swEst  costmodel.Estimator
+	swQs   []*query.Query
+	swErr  error
+)
+
+// benchSetup trains a small real zero-shot model (estimated
+// cardinalities, the serving configuration) on its own database — the
+// fused-vs-fanout comparison is only meaningful against the real graph
+// model's forward pass.
+func benchSetup(b *testing.B) (*storage.Database, costmodel.Estimator, []*query.Query) {
+	b.Helper()
+	swOnce.Do(func() {
+		swDB, swErr = datagen.IMDBLike(0.05)
+		if swErr != nil {
+			return
+		}
+		recs, err := collect.Run(swDB, collect.Options{Queries: 48, Seed: 41})
+		if err != nil {
+			swErr = err
+			return
+		}
+		est, err := costmodel.New(costmodel.NameZeroShot,
+			costmodel.Options{Hidden: 12, Epochs: 2, Card: encoding.CardEstimated})
+		if err != nil {
+			swErr = err
+			return
+		}
+		if _, err := est.Fit(context.Background(), costmodel.FromRecords(swDB, recs)); err != nil {
+			swErr = err
+			return
+		}
+		swEst = est
+		swQs, swErr = query.Synthetic(swDB, 32, 99)
+	})
+	if swErr != nil {
+		b.Fatal(swErr)
+	}
+	return swDB, swEst, swQs
+}
+
+// fanoutEst defeats batch fusion: PredictBatch degrades to a per-item
+// Predict loop (one tape-free forward pass per plan instead of one per
+// batch). The interface embedding deliberately hides FusesBatches.
+type fanoutEst struct {
+	costmodel.Estimator
+}
+
+func (f fanoutEst) PredictBatch(ctx context.Context, ins []costmodel.PlanInput) ([]float64, error) {
+	out := make([]float64, len(ins))
+	for i, in := range ins {
+		v, err := f.Estimator.Predict(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// BenchmarkWhatIfSweep prices one advise-sized sweep — 32 statements ×
+// (7 candidates + baseline) = 256 plans — through the real zero-shot
+// model, fused (one batched forward pass) versus fanned out (per-item
+// passes). Catalogs are pre-warmed so both variants measure pure
+// pricing, not parsing or planning.
+func BenchmarkWhatIfSweep(b *testing.B) {
+	db, est, qs := benchSetup(b)
+	st := stats.Collect(db, stats.DefaultBuckets, stats.DefaultMCVs)
+	cands, err := Enumerate(db.Schema, qs, nil, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := make([]Variant, len(cands))
+	for i, c := range cands {
+		variants[i] = Variant{Name: c.Index, Indexes: []string{c.Index}}
+	}
+	stmts := Statements(qs)
+	items := (len(variants) + 1) * len(stmts)
+
+	run := func(b *testing.B, est costmodel.Estimator) {
+		cat := NewCatalog(db, st, optimizer.DefaultCostParams(), 4096)
+		if _, err := cat.Sweep(context.Background(), est, stmts, variants); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.Sweep(context.Background(), est, stmts, variants); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*items), "ns/item")
+	}
+	b.Run("fused", func(b *testing.B) { run(b, est) })
+	b.Run("fanout", func(b *testing.B) { run(b, fanoutEst{est}) })
+}

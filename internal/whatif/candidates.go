@@ -1,0 +1,146 @@
+package whatif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/zeroshot-db/zeroshot/internal/query"
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+)
+
+// DefaultMaxCandidates caps enumeration when the request does not: a
+// sweep prices candidates × workload plans, so an unbounded candidate
+// set on a wide schema would turn one advise call into an unbounded
+// batch.
+const DefaultMaxCandidates = 16
+
+// Candidate sources.
+const (
+	SourceUser   = "user"
+	SourceFK     = "fk"
+	SourceFilter = "filter"
+)
+
+// Enumerate proposes index candidates for a workload on a schema.
+//
+// With explicit user candidates, each entry must be a well-formed
+// "table.column" naming an existing non-primary-key column; any
+// violation fails the whole call with ErrBadCandidate (an advise request
+// with a typo should error loudly, not silently drop the candidate).
+// Duplicates collapse to their first occurrence and order is preserved.
+//
+// Without user candidates, the enumerator proposes foreign-key join
+// columns (the referencing side — what an index accelerates in a join)
+// and the workload's filter columns, scored by how often the workload
+// touches each column in a join or predicate. Primary-key columns are
+// skipped (they are the uninteresting always-indexed case), zero-use
+// columns are kept only when the workload is empty, and the result is
+// ordered by score descending (ties by name) so the cap keeps the most
+// relevant candidates.
+func Enumerate(sch *schema.Schema, queries []*query.Query, user []string, max int) ([]Candidate, error) {
+	if max <= 0 {
+		max = DefaultMaxCandidates
+	}
+	if len(user) > 0 {
+		return validateUser(sch, user, max)
+	}
+	return propose(sch, queries, max), nil
+}
+
+// validateUser strictly checks an explicit candidate list.
+func validateUser(sch *schema.Schema, user []string, max int) ([]Candidate, error) {
+	seen := map[string]bool{}
+	out := make([]Candidate, 0, len(user))
+	for _, c := range user {
+		table, column, ok := strings.Cut(c, ".")
+		if !ok || table == "" || column == "" || strings.Contains(column, ".") {
+			return nil, fmt.Errorf("%w: %q is not of the form table.column", ErrBadCandidate, c)
+		}
+		t := sch.Table(table)
+		if t == nil {
+			return nil, fmt.Errorf("%w: unknown table %q in %q", ErrBadCandidate, table, c)
+		}
+		col := t.Column(column)
+		if col == nil {
+			return nil, fmt.Errorf("%w: unknown column %q in %q", ErrBadCandidate, column, c)
+		}
+		if col.PrimaryKey {
+			return nil, fmt.Errorf("%w: %q is a primary key (already indexed)", ErrBadCandidate, c)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, Candidate{Index: c, Source: SourceUser})
+		if len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+// propose enumerates FK join columns and workload filter columns, scored
+// by workload usage.
+func propose(sch *schema.Schema, queries []*query.Query, max int) []Candidate {
+	// usage counts how often the workload joins or filters each column.
+	usage := map[string]int{}
+	filtered := map[string]bool{}
+	for _, q := range queries {
+		for _, j := range q.Joins {
+			usage[j.Left.String()]++
+			usage[j.Right.String()]++
+		}
+		for _, f := range q.Filters {
+			usage[f.Col.String()]++
+			filtered[f.Col.String()] = true
+		}
+	}
+
+	indexable := func(table, column string) bool {
+		t := sch.Table(table)
+		if t == nil {
+			return false
+		}
+		col := t.Column(column)
+		return col != nil && !col.PrimaryKey
+	}
+
+	cands := map[string]Candidate{}
+	for _, fk := range sch.ForeignKeys {
+		key := fk.FromTable + "." + fk.FromColumn
+		if indexable(fk.FromTable, fk.FromColumn) {
+			cands[key] = Candidate{Index: key, Source: SourceFK}
+		}
+	}
+	for key := range filtered {
+		if _, dup := cands[key]; dup {
+			continue
+		}
+		table, column, _ := strings.Cut(key, ".")
+		if indexable(table, column) {
+			cands[key] = Candidate{Index: key, Source: SourceFilter}
+		}
+	}
+
+	out := make([]Candidate, 0, len(cands))
+	for key, c := range cands {
+		// With a workload in hand, a column it never touches cannot help
+		// it; without one, fall back to the schema's FK columns.
+		if len(queries) > 0 && usage[key] == 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ua, ub := usage[out[a].Index], usage[out[b].Index]
+		if ua != ub {
+			return ua > ub
+		}
+		return out[a].Index < out[b].Index
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package whatif
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEnumerateUserCandidates(t *testing.T) {
+	db, _, _ := fixture(t)
+
+	// Valid explicit candidates: order preserved, duplicates collapse to
+	// their first occurrence.
+	cands, err := Enumerate(db.Schema, nil, []string{
+		"movie_companies.movie_id",
+		"title.production_year",
+		"movie_companies.movie_id", // dup
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2 (dup collapsed): %+v", len(cands), cands)
+	}
+	if cands[0].Index != "movie_companies.movie_id" || cands[1].Index != "title.production_year" {
+		t.Fatalf("order not preserved: %+v", cands)
+	}
+	for _, c := range cands {
+		if c.Source != SourceUser {
+			t.Fatalf("candidate %q source = %q, want %q", c.Index, c.Source, SourceUser)
+		}
+	}
+
+	// The cap truncates.
+	capped, err := Enumerate(db.Schema, nil, []string{
+		"movie_companies.movie_id", "title.production_year", "cast_info.movie_id",
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Fatalf("cap 2 kept %d candidates: %+v", len(capped), capped)
+	}
+}
+
+func TestEnumerateUserRejections(t *testing.T) {
+	db, _, _ := fixture(t)
+	for _, bad := range []string{
+		"no_dot",              // malformed: no separator
+		"title.",              // malformed: empty column
+		".movie_id",           // malformed: empty table
+		"title.a.b",           // malformed: nested dot
+		"nosuch.movie_id",     // unknown table
+		"title.nosuch_column", // unknown column
+		"title.id",            // primary key (already indexed)
+	} {
+		_, err := Enumerate(db.Schema, nil, []string{bad}, 0)
+		if !errors.Is(err, ErrBadCandidate) {
+			t.Errorf("candidate %q: err = %v, want ErrBadCandidate", bad, err)
+		}
+	}
+
+	// One bad entry fails the whole list, even with valid entries first.
+	_, err := Enumerate(db.Schema, nil, []string{"movie_companies.movie_id", "typo"}, 0)
+	if !errors.Is(err, ErrBadCandidate) {
+		t.Fatalf("mixed list err = %v, want ErrBadCandidate", err)
+	}
+}
+
+func TestEnumerateProposes(t *testing.T) {
+	db, _, qs := fixture(t)
+	cands, err := Enumerate(db.Schema, qs, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("enumeration proposed nothing for a synthetic workload")
+	}
+	if len(cands) > DefaultMaxCandidates {
+		t.Fatalf("got %d candidates, cap is %d", len(cands), DefaultMaxCandidates)
+	}
+
+	// Recompute the workload's column usage to check relevance and order.
+	usage := map[string]int{}
+	for _, q := range qs {
+		for _, j := range q.Joins {
+			usage[j.Left.String()]++
+			usage[j.Right.String()]++
+		}
+		for _, f := range q.Filters {
+			usage[f.Col.String()]++
+		}
+	}
+	seen := map[string]bool{}
+	for i, c := range cands {
+		if seen[c.Index] {
+			t.Fatalf("duplicate candidate %q", c.Index)
+		}
+		seen[c.Index] = true
+		if c.Source != SourceFK && c.Source != SourceFilter {
+			t.Fatalf("candidate %q has source %q", c.Index, c.Source)
+		}
+		table, column, ok := strings.Cut(c.Index, ".")
+		if !ok {
+			t.Fatalf("candidate %q is not table.column", c.Index)
+		}
+		col := db.Schema.Table(table).Column(column)
+		if col == nil || col.PrimaryKey {
+			t.Fatalf("candidate %q is not an indexable column", c.Index)
+		}
+		if usage[c.Index] == 0 {
+			t.Fatalf("candidate %q is never joined or filtered by the workload", c.Index)
+		}
+		if i > 0 && usage[cands[i-1].Index] < usage[c.Index] {
+			t.Fatalf("candidates not ordered by usage: %q (%d) before %q (%d)",
+				cands[i-1].Index, usage[cands[i-1].Index], c.Index, usage[c.Index])
+		}
+	}
+
+	// A cap keeps the top-scored prefix.
+	capped, err := Enumerate(db.Schema, qs, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 || capped[0] != cands[0] || capped[1] != cands[1] {
+		t.Fatalf("cap 2 = %+v, want prefix of %+v", capped, cands[:2])
+	}
+}
+
+func TestEnumerateEmptyWorkloadFallsBackToFKs(t *testing.T) {
+	db, _, _ := fixture(t)
+	cands, err := Enumerate(db.Schema, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates proposed from schema foreign keys")
+	}
+	for _, c := range cands {
+		if c.Source != SourceFK {
+			t.Fatalf("with no workload, candidate %q should be FK-sourced, got %q", c.Index, c.Source)
+		}
+	}
+}

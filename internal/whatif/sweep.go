@@ -1,0 +1,148 @@
+package whatif
+
+import (
+	"context"
+	"sort"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+// Sweep prices the workload under the baseline and every variant and
+// returns the variants ranked by predicted workload runtime.
+//
+// The executor plans every (variant × statement) pair through the
+// catalog (cache-first), then prices the ENTIRE cross product — baseline
+// included — through one Estimator.PredictBatch call; with a fusing
+// estimator the whole sweep is a single tape-free forward pass. Errors
+// are structured per item: a statement that fails to plan or price under
+// one variant carries its own error in that variant's QueryResult and
+// the rest of the sweep still prices. The error return is reserved for
+// request-level failures (empty workload, no variants, context
+// cancellation — checked between planning steps and inside the
+// estimator, so an abandoned sweep stops mid-flight and returns the
+// context's error).
+func (c *Catalog) Sweep(ctx context.Context, est costmodel.Estimator, stmts []Statement, variants []Variant) (*Report, error) {
+	if len(stmts) == 0 {
+		return nil, ErrEmptyWorkload
+	}
+	if len(variants) == 0 {
+		return nil, ErrNoVariants
+	}
+
+	// The baseline is always variant 0; results[0] is pulled out of the
+	// ranking afterwards.
+	all := make([]Variant, 0, len(variants)+1)
+	all = append(all, Variant{})
+	all = append(all, variants...)
+
+	results := make([]VariantResult, len(all))
+	// Plan the cross product. ins collects the priceable pairs; pos maps
+	// each to its (variant, statement) slot.
+	var ins []costmodel.PlanInput
+	type slot struct{ v, s int }
+	var pos []slot
+	for vi, v := range all {
+		sig := v.signature()
+		results[vi] = VariantResult{
+			Name:    v.displayName(),
+			Indexes: append([]string(nil), v.Indexes...),
+			Queries: make([]QueryResult, len(stmts)),
+		}
+		for si, stmt := range stmts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			qr := &results[vi].Queries[si]
+			qr.SQL = stmt.SQL
+			in, err := c.prepare(v, sig, stmt)
+			if err != nil {
+				qr.Error = err.Error()
+				results[vi].Errors++
+				continue
+			}
+			ins = append(ins, in)
+			pos = append(pos, slot{vi, si})
+		}
+	}
+
+	// One fused pass over the whole sweep. A batch-level abort (first
+	// bad input wins) falls back to per-item predictions so each pair
+	// carries exactly its own error — unless the batch died because the
+	// caller's context did, in which case the sweep is over.
+	preds, err := est.PredictBatch(ctx, ins)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		preds = make([]float64, len(ins))
+		for j := range ins {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			v, perr := est.Predict(ctx, ins[j])
+			if perr != nil {
+				qr := &results[pos[j].v].Queries[pos[j].s]
+				qr.Error = perr.Error()
+				results[pos[j].v].Errors++
+				preds[j] = -1
+				continue
+			}
+			preds[j] = v
+		}
+	}
+	for j, p := range preds {
+		if p < 0 {
+			continue
+		}
+		results[pos[j].v].Queries[pos[j].s].PredictedSec = p
+	}
+
+	// Totals, per-query baselines and workload speedups. Workload
+	// speedups compare only statements priced under BOTH the baseline
+	// and the variant, so a variant is never rewarded for failing to
+	// price an expensive query.
+	base := &results[0]
+	for vi := range results {
+		vr := &results[vi]
+		var total, sharedBase, sharedVar float64
+		for si := range vr.Queries {
+			qr := &vr.Queries[si]
+			bq := base.Queries[si]
+			if qr.Error != "" {
+				continue
+			}
+			total += qr.PredictedSec
+			if bq.Error != "" {
+				continue
+			}
+			qr.BaselineSec = bq.PredictedSec
+			if qr.PredictedSec > 0 {
+				qr.SpeedupX = bq.PredictedSec / qr.PredictedSec
+			}
+			sharedBase += bq.PredictedSec
+			sharedVar += qr.PredictedSec
+		}
+		vr.TotalSec = total
+		if sharedVar > 0 {
+			vr.SpeedupX = sharedBase / sharedVar
+		}
+	}
+
+	ranked := results[1:]
+	sort.SliceStable(ranked, func(a, b int) bool {
+		if ranked[a].TotalSec != ranked[b].TotalSec {
+			return ranked[a].TotalSec < ranked[b].TotalSec
+		}
+		return ranked[a].Name < ranked[b].Name
+	})
+
+	r := &Report{
+		Baseline: results[0],
+		Variants: ranked,
+		Items:    len(ins),
+	}
+	if len(ranked) > 0 && ranked[0].TotalSec < results[0].TotalSec {
+		r.Recommendation = ranked[0].Name
+	}
+	return r, nil
+}

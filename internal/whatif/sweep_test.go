@@ -1,0 +1,257 @@
+package whatif
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/optimizer"
+)
+
+// sweepFixture builds a fresh catalog plus statements and candidate
+// variants over the shared fixture database.
+func sweepFixture(t testing.TB, nCands int) (*Catalog, []Statement, []Variant) {
+	t.Helper()
+	db, st, qs := fixture(t)
+	c := NewCatalog(db, st, optimizer.DefaultCostParams(), 0)
+	cands, err := Enumerate(db.Schema, qs, nil, nCands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("fixture workload proposed only %d candidates", len(cands))
+	}
+	variants := make([]Variant, len(cands))
+	for i, cand := range cands {
+		variants[i] = Variant{Name: cand.Index, Indexes: []string{cand.Index}}
+	}
+	return c, Statements(qs), variants
+}
+
+// TestSweepMatchesHandRolledLoop pins the sweep against the advisor it
+// replaced: an explicit loop that, per variant, builds an optimizer with
+// the hypothetical IndexSet, plans every statement and sums per-plan
+// predictions. Totals and the resulting ranking must agree exactly.
+func TestSweepMatchesHandRolledLoop(t *testing.T) {
+	db, st, qs := fixture(t)
+	cat, stmts, variants := sweepFixture(t, 6)
+	est := &fakeEst{}
+
+	rep, err := cat.Sweep(context.Background(), est, stmts, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-subsystem advisor loop, verbatim semantics.
+	handRolled := func(indexes []string) float64 {
+		idx := optimizer.IndexSet{}
+		for _, k := range indexes {
+			idx[k] = true
+		}
+		opt := optimizer.New(db.Schema, st, idx, optimizer.DefaultCostParams())
+		total := 0.0
+		for _, q := range qs {
+			p, err := opt.Plan(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := est.Predict(context.Background(), costmodel.PlanInput{
+				DB: db, Query: q, Plan: p, OptimizerCost: optimizer.TotalCost(p),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += v
+		}
+		return total
+	}
+
+	type ranked struct {
+		name  string
+		total float64
+	}
+	want := make([]ranked, len(variants))
+	for i, v := range variants {
+		want[i] = ranked{v.Name, handRolled(v.Indexes)}
+	}
+	sort.SliceStable(want, func(a, b int) bool {
+		if want[a].total != want[b].total {
+			return want[a].total < want[b].total
+		}
+		return want[a].name < want[b].name
+	})
+
+	if base := handRolled(nil); math.Abs(rep.Baseline.TotalSec-base) > 1e-12 {
+		t.Fatalf("baseline total %v, hand-rolled %v", rep.Baseline.TotalSec, base)
+	}
+	if len(rep.Variants) != len(want) {
+		t.Fatalf("got %d ranked variants, want %d", len(rep.Variants), len(want))
+	}
+	for i, w := range want {
+		got := rep.Variants[i]
+		if got.Name != w.name || math.Abs(got.TotalSec-w.total) > 1e-12 {
+			t.Fatalf("rank %d: got (%s, %v), hand-rolled (%s, %v)", i, got.Name, got.TotalSec, w.name, w.total)
+		}
+	}
+	if want[0].total < rep.Baseline.TotalSec && rep.Recommendation != want[0].name {
+		t.Fatalf("recommendation %q, hand-rolled winner %q", rep.Recommendation, want[0].name)
+	}
+}
+
+func TestSweepFusesOneBatch(t *testing.T) {
+	cat, stmts, variants := sweepFixture(t, 4)
+	est := &fakeEst{}
+	rep, err := cat.Sweep(context.Background(), est, stmts, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantItems := (len(variants) + 1) * len(stmts)
+	if rep.Items != wantItems {
+		t.Fatalf("Items = %d, want %d", rep.Items, wantItems)
+	}
+	if calls := est.batchCalls.Load(); calls != 1 {
+		t.Fatalf("sweep issued %d batch calls, want 1 fused call", calls)
+	}
+	if max := est.batchMax.Load(); max != int64(wantItems) {
+		t.Fatalf("fused batch size %d, want %d", max, wantItems)
+	}
+	if rep.Baseline.Name != "baseline" || len(rep.Baseline.Queries) != len(stmts) {
+		t.Fatalf("baseline = %+v", rep.Baseline)
+	}
+
+	// Repeat sweep: identical report, now fully served from the
+	// prepared-plan cache.
+	rep2, err := cat.Sweep(context.Background(), est, stmts, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("repeated sweep diverged from the first")
+	}
+	if cs := cat.CacheStats(); cs.Hits < int64(wantItems) {
+		t.Fatalf("warm sweep hit the plan cache %d times, want >= %d", cs.Hits, wantItems)
+	}
+}
+
+// TestSweepNeverMutatesStorage is the copy-on-write guarantee: many
+// concurrent sweeps over hypothetical indexes leave the shared database
+// without a single materialized index. Run under -race this also proves
+// the catalog's caches are safe for concurrent use.
+func TestSweepNeverMutatesStorage(t *testing.T) {
+	db, _, _ := fixture(t)
+	cat, stmts, variants := sweepFixture(t, 6)
+	before := strings.Join(db.IndexedColumns(), ",")
+
+	const sweeps = 8
+	reports := make([]*Report, sweeps)
+	var wg sync.WaitGroup
+	errs := make([]error, sweeps)
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = cat.Sweep(context.Background(), &fakeEst{}, stmts, variants)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+	}
+	if after := strings.Join(db.IndexedColumns(), ","); after != before {
+		t.Fatalf("sweeps mutated shared storage: indexes %q -> %q", before, after)
+	}
+	for i := 1; i < sweeps; i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("concurrent sweep %d diverged", i)
+		}
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	cat, stmts, variants := sweepFixture(t, 3)
+
+	// Pre-canceled: the planning loop notices before any pricing.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cat.Sweep(pre, &fakeEst{}, stmts, variants); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled sweep err = %v, want context.Canceled", err)
+	}
+
+	// Canceled mid-sweep, while the fused batch is in flight: the sweep
+	// returns the context's error, not a partial report.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel2()
+	}()
+	rep, err := cat.Sweep(ctx, &fakeEst{block: true}, stmts, variants)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancellation err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("canceled sweep returned a report")
+	}
+}
+
+// TestSweepStructuredItemErrors: a statement that fails to price under
+// some variant carries its own error; the rest of the sweep prices, and
+// workload speedups only compare statements priced under both sides.
+func TestSweepStructuredItemErrors(t *testing.T) {
+	cat, stmts, variants := sweepFixture(t, 3)
+	poisoned := stmts[0].Query
+	est := &fakeEst{poison: func(in costmodel.PlanInput) error {
+		if in.Query == poisoned {
+			return fmt.Errorf("poisoned statement")
+		}
+		return nil
+	}}
+
+	rep, err := cat.Sweep(context.Background(), est, stmts, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(vr VariantResult) {
+		t.Helper()
+		if vr.Errors != 1 || vr.Queries[0].Error == "" {
+			t.Fatalf("%s: errors = %d, queries[0].Error = %q", vr.Name, vr.Errors, vr.Queries[0].Error)
+		}
+		if vr.Queries[0].PredictedSec != 0 || vr.Queries[0].SpeedupX != 0 {
+			t.Fatalf("%s: errored statement still carries a prediction: %+v", vr.Name, vr.Queries[0])
+		}
+		for i := 1; i < len(vr.Queries); i++ {
+			if vr.Queries[i].Error != "" || vr.Queries[i].PredictedSec <= 0 {
+				t.Fatalf("%s: healthy statement %d = %+v", vr.Name, i, vr.Queries[i])
+			}
+		}
+		if vr.TotalSec <= 0 {
+			t.Fatalf("%s: total = %v", vr.Name, vr.TotalSec)
+		}
+	}
+	check(rep.Baseline)
+	for _, vr := range rep.Variants {
+		check(vr)
+		if vr.SpeedupX <= 0 {
+			t.Fatalf("%s: no workload speedup despite shared healthy statements", vr.Name)
+		}
+	}
+}
+
+func TestSweepRequestLevelErrors(t *testing.T) {
+	cat, stmts, variants := sweepFixture(t, 3)
+	if _, err := cat.Sweep(context.Background(), &fakeEst{}, nil, variants); !errors.Is(err, ErrEmptyWorkload) {
+		t.Fatalf("empty workload err = %v", err)
+	}
+	if _, err := cat.Sweep(context.Background(), &fakeEst{}, stmts, nil); !errors.Is(err, ErrNoVariants) {
+		t.Fatalf("no variants err = %v", err)
+	}
+}
