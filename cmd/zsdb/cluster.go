@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
 	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/whatif"
@@ -25,6 +26,10 @@ type clusterServer struct {
 	// adaptation is off — and in route mode, where each remote node owns
 	// its own /v1/adapt/status.
 	adaptStatus func() map[string]adapt.Status
+	// bundles is the bundle-distribution control plane. nil when bundle
+	// distribution is off — and in route mode, where each serve node owns
+	// its own store.
+	bundles *bundleControl
 }
 
 func newClusterServer(router *cluster.Router) *clusterServer {
@@ -44,7 +49,15 @@ func (s *clusterServer) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
+	mux.HandleFunc("/v1/bundles", s.handleBundles)
 	return mux
+}
+
+// handleBundles delegates to the shared bundle handler — the same body
+// the single-replica server serves, since the control plane is one
+// store either way. Read per request so tests can inject after mux().
+func (s *clusterServer) handleBundles(w http.ResponseWriter, r *http.Request) {
+	handleBundles(s.bundles)(w, r)
 }
 
 // handleAdaptStatus aggregates every replica's adaptation snapshot —
@@ -165,6 +178,15 @@ func (s *clusterServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, err := s.router.Stats(r.Context())
 	if err != nil {
 		clusterError(w, err)
+		return
+	}
+	if s.bundles != nil {
+		// Per-replica distributor counters ride along so generation skew
+		// (one replica stuck behind on a revision) shows in one read.
+		writeJSON(w, struct {
+			cluster.ClusterStats
+			Bundles map[string]bundle.Status `json:"bundles"`
+		}{st, s.bundles.statuses()})
 		return
 	}
 	writeJSON(w, st)

@@ -18,6 +18,7 @@
 //	zsdb eval     -model model.gob         evaluate a saved model on the unseen db
 //	zsdb serve    -models m1.gob,m2.gob    HTTP prediction service (see below)
 //	zsdb route    -backends h1:8080,h2:8080  consistent-hash router over serve nodes
+//	zsdb bundle   <build|inspect|push|list|rollback>  model-bundle store operations
 //	zsdb explain  -sql "SELECT ..."        plan, execute and explain a query
 //	zsdb advise   -model m.gob -workload f what-if index advisor over a workload
 //	zsdb gendata  [-seed N]                print a generated schema (debugging)
@@ -40,6 +41,8 @@
 //	POST /v1/whatif         {"db":"imdb","sql":["..."],"candidates":["t.col", ...]}
 //	POST /v1/feedback       {"db":"imdb","fingerprint":"...","actual_runtime_sec":0.25}
 //	GET  /v1/adapt/status   feedback windows, drift, swap counters (-adapt only)
+//	GET  /v1/bundles        store revisions + per-replica distributor status (-bundle-dir only)
+//	POST /v1/bundles        {"action":"refresh"} or {"action":"rollback","revision":N}
 //
 // "db" and "model" may be omitted when exactly one is attached. Batch
 // replies carry structured per-item errors: one malformed statement does
@@ -54,6 +57,17 @@
 // clone of the model on the feedback window — hot-swapping it in only
 // when a shadow evaluation on held-out feedback improves. Predictions
 // return a "fingerprint" field clients echo back with the runtime.
+//
+// -bundle-dir closes the remaining gap: an accepted fine-tune is local
+// to the replica that ran it. With a bundle directory configured, every
+// accepted swap is also published to a versioned model-bundle store
+// (manifest + checksummed costmodel payload in one archive), and a
+// per-replica distributor polls the store, verifies each new revision,
+// and hot-swaps it in — so the whole fleet converges on the adapted
+// model and a failover never serves a stale generation. POST
+// /v1/bundles {"action":"rollback"} republishes a retained revision as
+// the new head, rolling the fleet back durably; zsdb bundle exposes the
+// same store operations offline (build, inspect, push, list, rollback).
 //
 // The serving layer scales out two ways, both powered by the same
 // internal/cluster router. -replicas N turns one zsdb serve process
@@ -191,6 +205,8 @@ func run(cmd string, args []string) error {
 		return runServe(args)
 	case "route":
 		return runRoute(args)
+	case "bundle":
+		return runBundle(args)
 	case "explain":
 		return runExplain(args)
 	case "advise":
@@ -203,7 +219,7 @@ func run(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|whatif|all|train|eval|serve|route|explain|advise|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|whatif|all|train|eval|serve|route|bundle|explain|advise|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
 	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
@@ -35,6 +36,9 @@ type server struct {
 	sess *serving.Session
 	// loop is the online adaptation controller; nil unless -adapt.
 	loop *adapt.Loop
+	// bundles is the model-bundle plumbing (store, publisher, this
+	// session's distributor); nil unless -bundle-dir.
+	bundles *bundleControl
 }
 
 func newServer(sess *serving.Session) *server { return &server{sess: sess} }
@@ -51,7 +55,14 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
+	mux.HandleFunc("/v1/bundles", s.handleBundles)
 	return mux
+}
+
+// handleBundles defers to the shared bundle handler — s.bundles is read
+// per request so tests can wire it after mux().
+func (s *server) handleBundles(w http.ResponseWriter, r *http.Request) {
+	handleBundles(s.bundles)(w, r)
 }
 
 // httpError is the uniform JSON error envelope.
@@ -107,11 +118,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // modelInfo describes one loaded model in /v1/models. Fused reports
 // whether the model's PredictBatch executes as one fused forward pass
-// (costmodel.BatchFuser); it is omitted by the cluster aggregation,
-// which only sees model names.
+// (costmodel.BatchFuser). Generation and Swapped expose the hot-swap
+// state (each AttachModel bumps the generation), so a client can detect
+// a stale replica from this endpoint alone. All three are omitted by
+// the cluster aggregation, which only sees model names.
 type modelInfo struct {
-	Name  string `json:"name"`
-	Fused bool   `json:"fused,omitempty"`
+	Name       string    `json:"name"`
+	Fused      bool      `json:"fused,omitempty"`
+	Generation int64     `json:"generation,omitempty"`
+	Swapped    time.Time `json:"swapped,omitzero"`
 }
 
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -124,6 +139,10 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 		info := modelInfo{Name: name}
 		if est, err := s.sess.Model(name); err == nil {
 			info.Fused = costmodel.Fused(est)
+		}
+		if gen, swapped, err := s.sess.ModelGeneration(name); err == nil {
+			info.Generation = gen
+			info.Swapped = swapped
 		}
 		models = append(models, info)
 	}
@@ -145,10 +164,12 @@ func (s *server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats body: the session snapshot (uptime,
 // counters, latencies, per-model generations) plus the adaptation
-// counters when -adapt is on.
+// counters when -adapt is on and the bundle distributor counters (polls,
+// activations, failures, last error) when -bundle-dir is set.
 type statsResponse struct {
 	serving.Stats
-	Adaptation *adapt.Status `json:"adaptation,omitempty"`
+	Adaptation *adapt.Status            `json:"adaptation,omitempty"`
+	Bundles    map[string]bundle.Status `json:"bundles,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -160,6 +181,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.loop != nil {
 		st := s.loop.Status()
 		resp.Adaptation = &st
+	}
+	if s.bundles != nil {
+		resp.Bundles = s.bundles.statuses()
 	}
 	writeJSON(w, resp)
 }
@@ -477,26 +501,6 @@ func assembleSession(cfg serving.Config, kinds []string, dbs []*storage.Database
 	return sess, nil
 }
 
-// buildSession assembles the single-replica serving session.
-func buildSession(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string) (*serving.Session, error) {
-	models, err := loadModels(modelPaths)
-	if err != nil {
-		return nil, err
-	}
-	kinds, dbs, err := buildDatabases(dbSpec, dbScale)
-	if err != nil {
-		return nil, err
-	}
-	sess, err := assembleSession(cfg, kinds, dbs, models)
-	if err != nil {
-		return nil, err
-	}
-	for i, kind := range kinds {
-		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, dbScale)
-	}
-	return sess, nil
-}
-
 // adaptableModel resolves which attached model the adaptation loop
 // should own: the named one, or — when the flag is empty — the single
 // attached model that supports online adaptation (Clone + FineTune).
@@ -558,8 +562,9 @@ type adaptFlags struct {
 }
 
 // newLoopFor builds and starts one session's adaptation loop per the
-// flags (nil when -adapt is off).
-func (a adaptFlags) newLoopFor(sess *serving.Session) (*adapt.Loop, error) {
+// flags (nil when -adapt is off). onAccept, when non-nil, hooks the
+// accept path — the bundle publisher's entry point.
+func (a adaptFlags) newLoopFor(sess *serving.Session, onAccept func(context.Context, costmodel.Estimator, adapt.ShadowEval, int)) (*adapt.Loop, error) {
 	if !a.on {
 		return nil, nil
 	}
@@ -571,6 +576,7 @@ func (a adaptFlags) newLoopFor(sess *serving.Session) (*adapt.Loop, error) {
 		Model:      model,
 		WindowSize: a.windowSize,
 		MinSamples: a.minSamples,
+		OnAccept:   onAccept,
 	})
 	if err != nil {
 		return nil, err
@@ -586,47 +592,65 @@ func (a adaptFlags) newLoopFor(sess *serving.Session) (*adapt.Loop, error) {
 // its owning replica, so plan-cache and adaptation-window locality
 // survives the fan-in, and any replica can rescue any database on
 // failover because the mirrored attachment is total.
-func buildReplicatedCluster(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string, replicas int, af adaptFlags, rcfg cluster.Config) (*cluster.Router, map[string]*adapt.Loop, error) {
+func buildReplicatedCluster(cfg serving.Config, dbSpec string, dbScale float64, modelPaths string, replicas int, af adaptFlags, bf bundleFlags, rcfg cluster.Config) (*cluster.Router, map[string]*adapt.Loop, *bundleControl, error) {
 	models, err := loadModels(modelPaths)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	bc, err := bf.newControl(models)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	kinds, dbs, err := buildDatabases(dbSpec, dbScale)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	router := cluster.NewRouter(rcfg)
 	loops := map[string]*adapt.Loop{}
+	fail := func(err error) (*cluster.Router, map[string]*adapt.Loop, *bundleControl, error) {
+		bc.close()
+		router.Close()
+		return nil, nil, nil, err
+	}
 	for i := 0; i < replicas; i++ {
 		name := fmt.Sprintf("r%d", i)
 		sess, err := assembleSession(cfg, kinds, dbs, models)
 		if err != nil {
-			router.Close()
-			return nil, nil, err
+			return fail(err)
 		}
-		loop, err := af.newLoopFor(sess)
+		// The distributor attaches before the loop so an accepted
+		// adaptation can mark its own replica as already activated.
+		var dist *bundle.Distributor
+		if bc != nil {
+			if dist, err = bc.attach(name, sess, bf.poll); err != nil {
+				return fail(err)
+			}
+		}
+		loop, err := af.newLoopFor(sess, bc.onAccept(dist))
 		if err != nil {
-			router.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 		if loop != nil {
 			loops[name] = loop
 		}
 		b, err := cluster.NewInProcess(name, sess, loop)
 		if err != nil {
-			router.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 		if err := router.Register(b); err != nil {
-			router.Close()
-			return nil, nil, err
+			return fail(err)
+		}
+	}
+	if bc != nil {
+		if err := bc.seed(context.Background(), models); err != nil {
+			return fail(err)
 		}
 	}
 	for i, kind := range kinds {
 		fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g) to %d replica(s); owner %s\n",
 			kind, dbs[i].Schema.Name, dbScale, replicas, router.Owner(kind))
 	}
-	return router, loops, nil
+	return router, loops, bc, nil
 }
 
 // runServe loads the model files, attaches the serving databases, and
@@ -650,6 +674,10 @@ func runServe(args []string) error {
 	adaptModel := fs.String("adapt-model", "", "model to adapt (default: the sole attached model supporting Clone+FineTune)")
 	adaptWindow := fs.Int("adapt-window", 0, "per-database feedback window size (0 = adapt default)")
 	adaptMin := fs.Int("adapt-min-samples", 0, "fewest buffered samples a fine-tune runs on (0 = adapt default)")
+	bundleDir := fs.String("bundle-dir", "", "bundle store directory: replicas poll it for new model revisions, and accepted adaptations publish into it (empty = bundles off)")
+	bundlePoll := fs.Duration("bundle-poll", bundle.DefaultInterval, "bundle distributor poll interval (jittered per replica)")
+	bundleRetain := fs.Int("bundle-retain", bundle.DefaultRetain, "bundle revisions to retain for rollback")
+	bundleModel := fs.String("bundle-model", "", "model the bundle tier distributes (default: the sole loaded model)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -665,12 +693,13 @@ func runServe(args []string) error {
 		PlanCacheSize: *planCache,
 	}
 	af := adaptFlags{on: *adaptOn, model: *adaptModel, windowSize: *adaptWindow, minSamples: *adaptMin}
+	bf := bundleFlags{dir: *bundleDir, poll: *bundlePoll, retain: *bundleRetain, model: *bundleModel}
 
 	var handler http.Handler
 	var backing interface{ Close() error }
 	var banner string
 	if *replicas > 1 {
-		router, loops, err := buildReplicatedCluster(cfg, *databases, *dbScale, *modelPaths, *replicas, af, cluster.Config{
+		router, loops, bc, err := buildReplicatedCluster(cfg, *databases, *dbScale, *modelPaths, *replicas, af, bf, cluster.Config{
 			CallTimeout:    *callTimeout,
 			MaxAttempts:    *maxAttempts,
 			HealthInterval: 2 * time.Second,
@@ -678,7 +707,9 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		defer bc.close()
 		srv := newClusterServer(router)
+		srv.bundles = bc
 		if len(loops) > 0 {
 			srv.adaptStatus = func() map[string]adapt.Status {
 				out := make(map[string]adapt.Status, len(loops))
@@ -689,16 +720,47 @@ func runServe(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "online adaptation enabled on %d replica(s) (POST /v1/feedback)\n", len(loops))
 		}
+		if bc != nil {
+			fmt.Fprintf(os.Stderr, "bundle distribution enabled: %s polled every %v by %d replica(s)\n", *bundleDir, *bundlePoll, *replicas)
+		}
 		handler = srv.mux()
 		backing = router
 		banner = fmt.Sprintf("serving %d replica(s)", *replicas)
 	} else {
-		sess, err := buildSession(cfg, *databases, *dbScale, *modelPaths)
+		models, err := loadModels(*modelPaths)
 		if err != nil {
 			return err
 		}
+		kinds, dbs, err := buildDatabases(*databases, *dbScale)
+		if err != nil {
+			return err
+		}
+		sess, err := assembleSession(cfg, kinds, dbs, models)
+		if err != nil {
+			return err
+		}
+		for i, kind := range kinds {
+			fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, *dbScale)
+		}
 		srv := newServer(sess)
-		loop, err := af.newLoopFor(sess)
+		bc, err := bf.newControl(models)
+		if err != nil {
+			return err
+		}
+		var dist *bundle.Distributor
+		if bc != nil {
+			if dist, err = bc.attach("local", sess, bf.poll); err != nil {
+				return err
+			}
+			if err := bc.seed(context.Background(), models); err != nil {
+				bc.close()
+				return err
+			}
+			defer bc.close()
+			srv.bundles = bc
+			fmt.Fprintf(os.Stderr, "bundle distribution enabled: %s polled every %v\n", *bundleDir, *bundlePoll)
+		}
+		loop, err := af.newLoopFor(sess, bc.onAccept(dist))
 		if err != nil {
 			return err
 		}

@@ -34,6 +34,11 @@
 //     nodes, health-checked failover, bounded fan-out aggregation) over
 //     replica backends, in-process or remote HTTP, plus a deterministic
 //     fault-injection simulation harness (internal/cluster/sim)
+//   - internal/bundle — fleet-wide model distribution: a versioned,
+//     checksummed bundle format over the self-describing model files, a
+//     publisher hooked into the adaptation loop's accept path, and a
+//     per-replica poll/verify/activate distributor with durable
+//     rollback — see DESIGN.md's "Model distribution"
 //   - internal/whatif — the Section 4.1 what-if index advisor as a
 //     subsystem: candidate enumeration, a copy-on-write hypothetical
 //     catalog, and a sweep executor that prices every (variant × query)
@@ -45,7 +50,8 @@
 //     prediction service (POST /v1/predict, /v1/predict_batch,
 //     /v1/whatif, the -adapt feedback loop via /v1/feedback, and
 //     -replicas N for the single-binary cluster), with `zsdb route` as
-//     the multi-process routing tier over remote serve nodes
+//     the multi-process routing tier over remote serve nodes and
+//     `zsdb bundle` for offline model-bundle store operations
 //   - examples/ — runnable walkthroughs (quickstart, index advisor,
 //     few-shot adaptation, learned join ordering)
 //

@@ -88,6 +88,15 @@ type Config struct {
 	// (default 30s) — a fine-tune that made things worse should not
 	// immediately burn CPU trying again on similar data.
 	Backoff time.Duration
+	// OnAccept, when set, fires after every accepted hot-swap with the
+	// published clone, the shadow-eval verdict that accepted it, and the
+	// size of the drained window it fine-tuned on. This is the bundle
+	// publisher's hook: an accepted adaptation becomes a fleet-wide
+	// bundle revision. The callback runs on the sweep goroutine after
+	// the swap is already live — it must not block for long, and its
+	// failures are its own to record (a publish error must not undo a
+	// locally accepted swap).
+	OnAccept func(ctx context.Context, est costmodel.Estimator, eval ShadowEval, samples int)
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +150,10 @@ type dbWindow struct {
 	total   int64
 	qerr    *metrics.Window
 	backoff time.Time
+	// rejections counts this database's shadow-eval rejections — the
+	// signal that separates "no drift" from "drifting but every
+	// candidate got rejected".
+	rejections int64
 }
 
 func (w *dbWindow) add(s costmodel.Sample, q float64) {
@@ -211,7 +224,12 @@ type Loop struct {
 
 	shadowMu   sync.Mutex
 	lastShadow *ShadowEval
-	lastSwap   time.Time
+	// lastRejected survives later accepts: lastShadow always shows the
+	// most recent verdict of either kind, lastRejected pins the most
+	// recent rejection so an operator can still see what was refused and
+	// by how much after a subsequent swap lands.
+	lastRejected *ShadowEval
+	lastSwap     time.Time
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -347,8 +365,10 @@ func (l *Loop) Sweep(ctx context.Context) (accepted, rejected int) {
 				w.consume(len(d.samples), int(w.total-d.total))
 				if !ok {
 					// Rejected by the shadow eval: similar data would
-					// fine-tune to a similar rejection — sit out.
+					// fine-tune to a similar rejection — sit out, and
+					// count the rejection against this database.
 					w.backoff = time.Now().Add(l.cfg.Backoff)
+					w.rejections++
 				}
 			}
 		}
@@ -418,9 +438,15 @@ func (l *Loop) adaptOne(ctx context.Context, db string, samples []costmodel.Samp
 	l.shadowMu.Lock()
 	if eval.Accepted {
 		l.lastSwap = eval.At
+	} else {
+		c := *eval
+		l.lastRejected = &c
 	}
 	l.lastShadow = eval
 	l.shadowMu.Unlock()
+	if eval.Accepted && l.cfg.OnAccept != nil {
+		l.cfg.OnAccept(ctx, clone, *eval, len(samples))
+	}
 	return eval.Accepted, nil
 }
 
@@ -502,6 +528,10 @@ type WindowStatus struct {
 	Pending int   `json:"pending"`
 	// QError summarizes the sliding drift window (since the last drain).
 	QError metrics.WindowSummary `json:"qerror"`
+	// Rejections counts shadow-eval rejections for this database: a
+	// drifting window with a climbing rejection count means candidates
+	// are being produced but none beat the serving generation.
+	Rejections int64 `json:"rejections"`
 	// InBackoff reports the database is sitting out after a rejected
 	// swap.
 	InBackoff bool `json:"in_backoff"`
@@ -509,16 +539,19 @@ type WindowStatus struct {
 
 // Status is the observability snapshot behind GET /v1/adapt/status.
 type Status struct {
-	Model         string         `json:"model"`
-	Feedback      int64          `json:"feedback"`
-	JoinMisses    int64          `json:"join_misses"`
-	Sweeps        int64          `json:"sweeps"`
-	SwapsAccepted int64          `json:"swaps_accepted"`
-	SwapsRejected int64          `json:"swaps_rejected"`
-	LastSwap      time.Time      `json:"last_swap"`
-	LastShadow    *ShadowEval    `json:"last_shadow,omitempty"`
-	LastError     string         `json:"last_error,omitempty"`
-	Windows       []WindowStatus `json:"windows,omitempty"`
+	Model         string      `json:"model"`
+	Feedback      int64       `json:"feedback"`
+	JoinMisses    int64       `json:"join_misses"`
+	Sweeps        int64       `json:"sweeps"`
+	SwapsAccepted int64       `json:"swaps_accepted"`
+	SwapsRejected int64       `json:"swaps_rejected"`
+	LastSwap      time.Time   `json:"last_swap"`
+	LastShadow    *ShadowEval `json:"last_shadow,omitempty"`
+	// LastRejected is the most recent rejected verdict, kept even after
+	// later accepted swaps overwrite LastShadow.
+	LastRejected *ShadowEval    `json:"last_rejected,omitempty"`
+	LastError    string         `json:"last_error,omitempty"`
+	Windows      []WindowStatus `json:"windows,omitempty"`
 }
 
 // Status snapshots the loop.
@@ -537,17 +570,22 @@ func (l *Loop) Status() Status {
 		c := *l.lastShadow
 		st.LastShadow = &c
 	}
+	if l.lastRejected != nil {
+		c := *l.lastRejected
+		st.LastRejected = &c
+	}
 	l.shadowMu.Unlock()
 	now := time.Now()
 	l.mu.Lock()
 	st.LastError = l.lastErr
 	for db, w := range l.windows {
 		st.Windows = append(st.Windows, WindowStatus{
-			Database:  db,
-			Total:     w.total,
-			Pending:   w.filled,
-			QError:    w.qerr.Snapshot(),
-			InBackoff: now.Before(w.backoff),
+			Database:   db,
+			Total:      w.total,
+			Pending:    w.filled,
+			QError:     w.qerr.Snapshot(),
+			Rejections: w.rejections,
+			InBackoff:  now.Before(w.backoff),
 		})
 	}
 	l.mu.Unlock()

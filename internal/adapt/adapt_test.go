@@ -293,6 +293,12 @@ func TestSweepRejectsWorseClone(t *testing.T) {
 	if st.LastShadow == nil || st.LastShadow.Accepted || st.LastShadow.NewMedian <= st.LastShadow.OldMedian {
 		t.Fatalf("shadow eval = %+v, want a rejection with worse new median", st.LastShadow)
 	}
+	if st.LastRejected == nil || st.LastRejected.Accepted || st.LastRejected.Database != "target" {
+		t.Fatalf("last rejected = %+v, want the rejected verdict recorded", st.LastRejected)
+	}
+	if st.Windows[0].Rejections != 1 {
+		t.Fatalf("window rejections = %d, want 1", st.Windows[0].Rejections)
+	}
 	gen, _, err := sess.ModelGeneration("tunable")
 	if err != nil || gen != 1 {
 		t.Fatalf("generation = %d (err %v), want 1: rejected swap must not publish", gen, err)
@@ -551,6 +557,80 @@ func TestAdaptE2EAcceptedHotSwap(t *testing.T) {
 	}
 	if newMed > 1.05 {
 		t.Fatalf("post-swap median q-error %.3f, want ~1 (goodTune recalibrates exactly)", newMed)
+	}
+}
+
+// TestOnAcceptHookAndRejectedSurvival drives a rejection followed by an
+// accepted swap: OnAccept must fire exactly once with the published
+// clone and its verdict, and the earlier rejection must stay visible in
+// Status after the accept overwrites LastShadow.
+func TestOnAcceptHookAndRejectedSurvival(t *testing.T) {
+	est := &tunableEstimator{name: "tunable", scale: 4, tune: badTune}
+	sess := newAdaptSession(t, est)
+
+	type acceptCall struct {
+		est     costmodel.Estimator
+		eval    ShadowEval
+		samples int
+	}
+	var calls []acceptCall
+	loop, err := New(sess, Config{
+		Model:      "tunable",
+		WindowSize: 64,
+		MinSamples: 8,
+		Backoff:    time.Millisecond,
+		OnAccept: func(ctx context.Context, est costmodel.Estimator, eval ShadowEval, samples int) {
+			calls = append(calls, acceptCall{est, eval, samples})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, sqls := fixtures(t)
+	feed := func() {
+		for i := 0; i < 8; i++ {
+			if err := predictAndFeedback(ctx, sess, loop, sqls[i%len(sqls)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed()
+	if a, r := loop.Sweep(ctx); a != 0 || r != 1 {
+		t.Fatalf("rejection sweep = %d/%d", a, r)
+	}
+	if len(calls) != 0 {
+		t.Fatalf("OnAccept fired on a rejection: %d calls", len(calls))
+	}
+
+	est.tune = goodTune
+	time.Sleep(2 * time.Millisecond) // outlive the backoff
+	feed()
+	if a, r := loop.Sweep(ctx); a != 1 || r != 0 {
+		t.Fatalf("accept sweep = %d/%d (status %+v)", a, r, loop.Status())
+	}
+	if len(calls) != 1 {
+		t.Fatalf("OnAccept calls = %d, want 1", len(calls))
+	}
+	call := calls[0]
+	if !call.eval.Accepted || call.eval.Database != "target" || call.samples != 8 {
+		t.Fatalf("OnAccept call = %+v", call)
+	}
+	// The hook hands over the clone that is now serving.
+	serving, err := sess.Model("tunable")
+	if err != nil || call.est != serving {
+		t.Fatalf("OnAccept estimator is not the serving generation (err %v)", err)
+	}
+	// The old rejection survives the accept.
+	st := loop.Status()
+	if st.LastShadow == nil || !st.LastShadow.Accepted {
+		t.Fatalf("LastShadow = %+v, want the accept", st.LastShadow)
+	}
+	if st.LastRejected == nil || st.LastRejected.Accepted {
+		t.Fatalf("LastRejected = %+v, want the earlier rejection preserved", st.LastRejected)
+	}
+	if st.Windows[0].Rejections != 1 {
+		t.Fatalf("window rejections = %d, want 1", st.Windows[0].Rejections)
 	}
 }
 

@@ -1,0 +1,159 @@
+package bundle_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+func TestBuildOpenRoundTrip(t *testing.T) {
+	est := &scaleEstimator{Scale: 2.5}
+	shadow := &bundle.ShadowMetrics{
+		Database:   "imdb",
+		OldMedianQ: 4.0,
+		NewMedianQ: 1.1,
+		Holdout:    8,
+		At:         time.Now().UTC(),
+	}
+	data, man := buildBundle(t, est, 7, bundle.Meta{
+		Fingerprint: "adapt:imdb",
+		Samples:     64,
+		Shadow:      shadow,
+	})
+
+	if man.Estimator != testEstimatorName || man.Revision != 7 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if man.Fingerprint != "adapt:imdb" || man.Samples != 64 || man.Shadow == nil {
+		t.Fatalf("metadata lost: %+v", man)
+	}
+	if man.SHA256 == "" || man.CreatedAt.IsZero() {
+		t.Fatalf("manifest missing derived fields: %+v", man)
+	}
+
+	b, err := bundle.Open(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if b.Manifest.Revision != 7 || b.Manifest.SHA256 != man.SHA256 {
+		t.Fatalf("opened manifest = %+v, want %+v", b.Manifest, man)
+	}
+	if b.Manifest.Shadow == nil || b.Manifest.Shadow.NewMedianQ != 1.1 {
+		t.Fatalf("shadow metrics lost: %+v", b.Manifest.Shadow)
+	}
+	// The decoded estimator predicts bitwise the same as the original.
+	in := costmodel.PlanInput{OptimizerCost: 1234}
+	want, _ := est.Predict(context.Background(), in)
+	got, err := b.Estimator.Predict(context.Background(), in)
+	if err != nil || got != want {
+		t.Fatalf("decoded estimator predicts %v (err %v), want %v", got, err, want)
+	}
+
+	// Inspect agrees without decoding.
+	insp, err := bundle.Inspect(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if insp.SHA256 != man.SHA256 || insp.Revision != man.Revision {
+		t.Fatalf("Inspect = %+v, want %+v", insp, man)
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := bundle.Build(&buf, nil, 1, bundle.Meta{}); err == nil {
+		t.Fatal("Build accepted a nil estimator")
+	}
+	if _, err := bundle.Build(&buf, &scaleEstimator{Scale: 1}, 0, bundle.Meta{}); err == nil {
+		t.Fatal("Build accepted revision 0")
+	}
+}
+
+func TestBuildDefaultFingerprint(t *testing.T) {
+	_, man := buildBundle(t, &scaleEstimator{Scale: 1}, 1, bundle.Meta{})
+	if man.Fingerprint == "" {
+		t.Fatal("no default fingerprint")
+	}
+	if want := "sha256:" + man.SHA256[:16]; man.Fingerprint != want {
+		t.Fatalf("fingerprint = %q, want %q", man.Fingerprint, want)
+	}
+}
+
+// TestOpenRefusesCorruption drives every malformed-archive class through
+// Open: all must return ErrBadBundle, none may panic.
+func TestOpenRefusesCorruption(t *testing.T) {
+	valid, _ := buildBundle(t, &scaleEstimator{Scale: 3}, 5, bundle.Meta{})
+	man, payload := dissect(t, valid)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not gzip", []byte("definitely not a gzip archive")},
+		{"truncated half", valid[:len(valid)/2]},
+		{"truncated tail", valid[:len(valid)-4]},
+		{"checksum mismatch", func() []byte {
+			bad := append([]byte(nil), payload...)
+			bad[len(bad)-1] ^= 0xff
+			return rawArchive(t, marshalManifest(t, man), bad)
+		}()},
+		{"manifest estimator mismatch", func() []byte {
+			m := man
+			m.Estimator = costmodel.NameScaledCost
+			return rawArchive(t, marshalManifest(t, m), payload)
+		}()},
+		{"manifest names no estimator", func() []byte {
+			m := man
+			m.Estimator = ""
+			return rawArchive(t, marshalManifest(t, m), payload)
+		}()},
+		{"manifest revision zero", func() []byte {
+			m := man
+			m.Revision = 0
+			return rawArchive(t, marshalManifest(t, m), payload)
+		}()},
+		{"malformed manifest json", rawArchive(t, []byte("{nope"), payload)},
+		{"undecodable payload", func() []byte {
+			// Rewrap fixes the checksum over the garbage, so only the
+			// load step is left to refuse.
+			var buf bytes.Buffer
+			if err := bundle.Rewrap(&buf, man, []byte("not a costmodel payload")); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := bundle.Open(bytes.NewReader(tc.data)); !errors.Is(err, bundle.ErrBadBundle) {
+				t.Fatalf("Open(%s) err = %v, want ErrBadBundle", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestOpenRefusesPayloadNameMismatch covers the subtler mismatch: the
+// manifest and checksum are internally consistent but the payload's own
+// self-describing header names a different estimator.
+func TestOpenRefusesPayloadNameMismatch(t *testing.T) {
+	valid, _ := buildBundle(t, &scaleEstimator{Scale: 3}, 5, bundle.Meta{})
+	man, payload := dissect(t, valid)
+
+	// Rewrap recomputes the checksum, so the only failing check left is
+	// the manifest-vs-payload estimator comparison.
+	man.Estimator = costmodel.NameScaledCost
+	var buf bytes.Buffer
+	if err := bundle.Rewrap(&buf, man, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err := bundle.Open(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, bundle.ErrBadBundle) {
+		t.Fatalf("err = %v, want ErrBadBundle", err)
+	}
+}

@@ -1,0 +1,346 @@
+package bundle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+// Activator is the activation sink — satisfied by *serving.Session,
+// whose AttachModel is the hot-swap path (generation bump, scheduler
+// flush-time lookup). Declared here so this package does not import
+// serving.
+type Activator interface {
+	AttachModel(est costmodel.Estimator) error
+}
+
+// DistConfig configures one replica's Distributor.
+type DistConfig struct {
+	// Store is where bundles are fetched from. Required.
+	Store Store
+	// Target receives verified estimators. Required.
+	Target Activator
+	// Estimator is the registry name this distributor accepts; bundles
+	// wrapping any other estimator refuse activation. Required.
+	Estimator string
+	// Interval is the base poll period for Start. Each sleep is jittered
+	// ±25% so a fleet of replicas does not stampede the store in
+	// lockstep. Defaults to DefaultInterval.
+	Interval time.Duration
+	// MaxBackoff caps the exponential backoff after fetch/verify
+	// failures. Defaults to 8× the interval.
+	MaxBackoff time.Duration
+	// Now and Rand are test seams; they default to time.Now and a
+	// process-wide source.
+	Now  func() time.Time
+	Rand *rand.Rand
+}
+
+// DefaultInterval is the poll period when DistConfig leaves it zero.
+const DefaultInterval = 3 * time.Second
+
+// Status is a distributor's observable state, surfaced per replica in
+// /v1/stats and /v1/bundles so generation skew across a ring is visible.
+type Status struct {
+	// Estimator is the accepted registry name.
+	Estimator string `json:"estimator"`
+	// Revision is the currently activated revision (0 before the first
+	// activation).
+	Revision int64 `json:"revision"`
+	// Polls counts PollOnce calls; Skips those short-circuited by the
+	// revision check; Activations successful hot-swaps; Failures
+	// fetch/verify/activate errors; Rollbacks local Rollback calls.
+	Polls       int64 `json:"polls"`
+	Skips       int64 `json:"skips"`
+	Activations int64 `json:"activations"`
+	Failures    int64 `json:"failures"`
+	Rollbacks   int64 `json:"rollbacks"`
+	// LastError is the most recent failure, cleared by the next success.
+	LastError string `json:"last_error,omitempty"`
+	// LastActivated is when the current revision activated.
+	LastActivated time.Time `json:"last_activated,omitzero"`
+	// BackoffUntil is non-zero while the poll loop is backing off.
+	BackoffUntil time.Time `json:"backoff_until,omitzero"`
+	// Manifest describes the activated revision, nil before the first.
+	Manifest *Manifest `json:"manifest,omitempty"`
+}
+
+// Distributor is the per-replica poll/verify/activate client. PollOnce
+// is the whole protocol; Start just runs it on a jittered timer.
+type Distributor struct {
+	cfg DistConfig
+
+	mu        sync.Mutex
+	st        Status
+	backoff   time.Duration // current backoff step, 0 when healthy
+	nextAfter time.Time     // do not poll before this (backoff gate)
+
+	stop     chan struct{}
+	done     chan struct{}
+	startErr sync.Once
+}
+
+// NewDistributor validates the config and returns an idle distributor —
+// call PollOnce directly (tests, deterministic harnesses) or Start for
+// the background loop.
+func NewDistributor(cfg DistConfig) (*Distributor, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("bundle: distributor needs a store")
+	}
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("bundle: distributor needs an activation target")
+	}
+	if cfg.Estimator == "" {
+		return nil, fmt.Errorf("bundle: distributor needs an estimator name")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * cfg.Interval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Distributor{
+		cfg:  cfg,
+		st:   Status{Estimator: cfg.Estimator},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Status snapshots the distributor's counters and activated revision.
+func (d *Distributor) Status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.st
+	if st.Manifest != nil {
+		man := *st.Manifest
+		st.Manifest = &man
+	}
+	st.BackoffUntil = d.nextAfter
+	return st
+}
+
+// Revision returns the currently activated revision (0 if none).
+func (d *Distributor) Revision() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Revision
+}
+
+// MarkActivated records that the target already serves revision man —
+// the publishing replica's own accept path activated the model locally
+// before the bundle existed, so its distributor must not re-download
+// and re-attach (which would bump the serving generation for nothing).
+func (d *Distributor) MarkActivated(man Manifest) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if man.Revision <= d.st.Revision {
+		return
+	}
+	m := man
+	d.st.Revision = man.Revision
+	d.st.Manifest = &m
+	d.st.LastActivated = d.cfg.Now()
+}
+
+// fail records a failure and advances the exponential backoff gate.
+func (d *Distributor) fail(err error) {
+	d.st.Failures++
+	d.st.LastError = err.Error()
+	if d.backoff == 0 {
+		d.backoff = d.cfg.Interval
+	} else {
+		d.backoff *= 2
+	}
+	if d.backoff > d.cfg.MaxBackoff {
+		d.backoff = d.cfg.MaxBackoff
+	}
+	d.nextAfter = d.cfg.Now().Add(d.backoff)
+}
+
+// ok clears failure state after any successful poll.
+func (d *Distributor) ok() {
+	d.st.LastError = ""
+	d.backoff = 0
+	d.nextAfter = time.Time{}
+}
+
+// PollOnce runs one protocol round: check the store head, short-circuit
+// if it is not beyond the activated revision, otherwise fetch, verify
+// (checksum, loadable payload, estimator-name match, revision match and
+// strictly-increasing), and activate via the target's hot-swap.
+// Returns whether a new revision activated. While a backoff window from
+// a previous failure is open the round is skipped entirely.
+func (d *Distributor) PollOnce(ctx context.Context) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if !d.nextAfter.IsZero() && d.cfg.Now().Before(d.nextAfter) {
+		return false, nil
+	}
+	d.st.Polls++
+
+	head, err := d.cfg.Store.Latest(ctx)
+	if errors.Is(err, ErrNotFound) {
+		// Empty store: nothing published yet is a healthy state.
+		d.st.Skips++
+		d.ok()
+		return false, nil
+	}
+	if err != nil {
+		err = fmt.Errorf("bundle: poll store: %w", err)
+		d.fail(err)
+		return false, err
+	}
+	if head <= d.st.Revision {
+		// The ETag idiom: the head has not moved past us, skip the fetch.
+		d.st.Skips++
+		d.ok()
+		return false, nil
+	}
+
+	man, err := d.activateLocked(ctx, head)
+	if err != nil {
+		d.fail(err)
+		return false, err
+	}
+	d.st.Revision = man.Revision
+	d.st.Manifest = &man
+	d.st.LastActivated = d.cfg.Now()
+	d.st.Activations++
+	d.ok()
+	return true, nil
+}
+
+// activateLocked fetches, verifies, and attaches one revision. The
+// caller holds d.mu. Verification failures leave the serving generation
+// untouched: AttachModel only runs after every check passes.
+func (d *Distributor) activateLocked(ctx context.Context, revision int64) (Manifest, error) {
+	rc, err := d.cfg.Store.Fetch(ctx, revision)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("bundle: fetch revision %d: %w", revision, err)
+	}
+	b, err := Open(rc)
+	closeErr := rc.Close()
+	if err != nil {
+		return Manifest{}, fmt.Errorf("revision %d: %w", revision, err)
+	}
+	if closeErr != nil {
+		return Manifest{}, fmt.Errorf("bundle: close revision %d: %w", revision, closeErr)
+	}
+	if b.Manifest.Revision != revision {
+		return Manifest{}, badf("store revision %d holds manifest revision %d", revision, b.Manifest.Revision)
+	}
+	if b.Manifest.Estimator != d.cfg.Estimator {
+		return Manifest{}, badf("bundle wraps estimator %q, this replica distributes %q", b.Manifest.Estimator, d.cfg.Estimator)
+	}
+	if err := d.cfg.Target.AttachModel(b.Estimator); err != nil {
+		return Manifest{}, fmt.Errorf("bundle: activate revision %d: %w", revision, err)
+	}
+	return b.Manifest, nil
+}
+
+// Rollback reactivates a retained revision on THIS replica, bypassing
+// the strictly-increasing poll rule (the operator asked for it). The
+// next poll will re-activate the store head if it is newer — for a
+// durable fleet-wide rollback use Publisher.Rollback, which republishes
+// the old payload as a new head. revision 0 means "one before current".
+func (d *Distributor) Rollback(ctx context.Context, revision int64) (Manifest, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if revision == 0 {
+		revs, err := d.cfg.Store.Revisions(ctx)
+		if err != nil {
+			return Manifest{}, err
+		}
+		for i := len(revs) - 1; i >= 0; i-- {
+			if revs[i] < d.st.Revision {
+				revision = revs[i]
+				break
+			}
+		}
+		if revision == 0 {
+			return Manifest{}, fmt.Errorf("bundle: rollback: no retained revision before %d", d.st.Revision)
+		}
+	}
+	man, err := d.activateLocked(ctx, revision)
+	if err != nil {
+		d.st.Failures++
+		d.st.LastError = err.Error()
+		return Manifest{}, err
+	}
+	d.st.Revision = man.Revision
+	d.st.Manifest = &man
+	d.st.LastActivated = d.cfg.Now()
+	d.st.Rollbacks++
+	d.st.LastError = ""
+	return man, nil
+}
+
+// Start launches the background poll loop; Close stops it. Each sleep
+// is the configured interval jittered ±25% (or the remaining backoff,
+// whichever is later).
+func (d *Distributor) Start() {
+	d.startErr.Do(func() {
+		go d.loop()
+	})
+}
+
+func (d *Distributor) loop() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		sleep := d.jitteredLocked()
+		d.mu.Unlock()
+		timer := time.NewTimer(sleep)
+		select {
+		case <-d.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d.cfg.Interval)
+		_, _ = d.PollOnce(ctx) // errors land in Status.LastError
+		cancel()
+	}
+}
+
+// jitteredLocked computes the next sleep: interval ±25%, extended to
+// cover any open backoff window. Caller holds d.mu.
+func (d *Distributor) jitteredLocked() time.Duration {
+	base := d.cfg.Interval
+	jitter := time.Duration((d.cfg.Rand.Float64() - 0.5) * 0.5 * float64(base))
+	sleep := base + jitter
+	if !d.nextAfter.IsZero() {
+		if until := d.nextAfter.Sub(d.cfg.Now()); until > sleep {
+			sleep = until
+		}
+	}
+	if sleep < time.Millisecond {
+		sleep = time.Millisecond
+	}
+	return sleep
+}
+
+// Close stops the background loop (if started) and waits for it.
+func (d *Distributor) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.startErr.Do(func() { close(d.done) }) // never started: unblock the wait
+	<-d.done
+}

@@ -1,0 +1,395 @@
+package bundle_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+// recordingTarget is a fake Activator counting attachments.
+type recordingTarget struct {
+	mu       sync.Mutex
+	attached []costmodel.Estimator
+	fail     error
+}
+
+func (r *recordingTarget) AttachModel(est costmodel.Estimator) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail != nil {
+		return r.fail
+	}
+	r.attached = append(r.attached, est)
+	return nil
+}
+
+func (r *recordingTarget) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.attached)
+}
+
+func (r *recordingTarget) lastScale() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.attached) == 0 {
+		return 0
+	}
+	return r.attached[len(r.attached)-1].(*scaleEstimator).Scale
+}
+
+func newTestDistributor(t *testing.T, st bundle.Store, target bundle.Activator) *bundle.Distributor {
+	t.Helper()
+	d, err := bundle.NewDistributor(bundle.DistConfig{
+		Store:     st,
+		Target:    target,
+		Estimator: testEstimatorName,
+		Interval:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestDistributorValidatesConfig(t *testing.T) {
+	st := newDirStore(t)
+	target := &recordingTarget{}
+	for _, cfg := range []bundle.DistConfig{
+		{Target: target, Estimator: "x"},
+		{Store: st, Estimator: "x"},
+		{Store: st, Target: target},
+	} {
+		if _, err := bundle.NewDistributor(cfg); err == nil {
+			t.Fatalf("NewDistributor(%+v) accepted an incomplete config", cfg)
+		}
+	}
+}
+
+func TestDistributorPollActivatesAndShortCircuits(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+	target := &recordingTarget{}
+	d := newTestDistributor(t, st, target)
+
+	// Empty store: healthy no-op.
+	if act, err := d.PollOnce(ctx); err != nil || act {
+		t.Fatalf("empty poll = %v/%v", act, err)
+	}
+
+	if _, err := pub.Publish(ctx, &scaleEstimator{Scale: 2}, bundle.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	act, err := d.PollOnce(ctx)
+	if err != nil || !act {
+		t.Fatalf("poll = %v/%v, want activation", act, err)
+	}
+	if target.count() != 1 || target.lastScale() != 2 {
+		t.Fatalf("target saw %d attachments (scale %v), want 1 of scale 2", target.count(), target.lastScale())
+	}
+	st1 := d.Status()
+	if st1.Revision != 1 || st1.Activations != 1 || st1.Manifest == nil {
+		t.Fatalf("status = %+v", st1)
+	}
+
+	// Head unchanged: the revision short-circuit skips the fetch.
+	if act, err := d.PollOnce(ctx); err != nil || act {
+		t.Fatalf("repeat poll = %v/%v, want skip", act, err)
+	}
+	if st2 := d.Status(); st2.Skips < 1 || target.count() != 1 {
+		t.Fatalf("short-circuit missing: %+v, %d attachments", st2, target.count())
+	}
+
+	// New head: picked up on the next poll.
+	if _, err := pub.Publish(ctx, &scaleEstimator{Scale: 3}, bundle.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if act, err := d.PollOnce(ctx); err != nil || !act {
+		t.Fatalf("poll after publish = %v/%v", act, err)
+	}
+	if d.Revision() != 2 || target.lastScale() != 3 {
+		t.Fatalf("revision %d scale %v, want 2 / 3", d.Revision(), target.lastScale())
+	}
+}
+
+// TestDistributorRefusals drives every refusal class through the poll
+// path and asserts the target is never touched.
+func TestDistributorRefusals(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("corrupt archive", func(t *testing.T) {
+		st := newDirStore(t)
+		target := &recordingTarget{}
+		d := newTestDistributor(t, st, target)
+		if err := st.Put(ctx, 1, []byte("garbage")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.PollOnce(ctx); err == nil {
+			t.Fatal("corrupt bundle activated")
+		}
+		if target.count() != 0 || d.Revision() != 0 {
+			t.Fatalf("corrupt bundle reached the target: %d attachments, rev %d", target.count(), d.Revision())
+		}
+		if s := d.Status(); s.Failures != 1 || s.LastError == "" {
+			t.Fatalf("status = %+v", s)
+		}
+	})
+
+	t.Run("estimator mismatch", func(t *testing.T) {
+		st := newDirStore(t)
+		target := &recordingTarget{}
+		d, err := bundle.NewDistributor(bundle.DistConfig{
+			Store: st, Target: target, Estimator: costmodel.NameScaledCost, Interval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		data, _ := buildBundle(t, &scaleEstimator{Scale: 2}, 1, bundle.Meta{})
+		if err := st.Put(ctx, 1, data); err != nil {
+			t.Fatal(err)
+		}
+		_, err = d.PollOnce(ctx)
+		if err == nil || !strings.Contains(err.Error(), "this replica distributes") {
+			t.Fatalf("err = %v, want estimator-mismatch refusal", err)
+		}
+		if target.count() != 0 {
+			t.Fatal("mismatched bundle reached the target")
+		}
+	})
+
+	t.Run("revision regression", func(t *testing.T) {
+		st := newDirStore(t)
+		target := &recordingTarget{}
+		d := newTestDistributor(t, st, target)
+		// Activated revision 5 already (e.g. via the publisher hook).
+		d.MarkActivated(bundle.Manifest{Estimator: testEstimatorName, Revision: 5})
+		data, _ := buildBundle(t, &scaleEstimator{Scale: 9}, 3, bundle.Meta{})
+		if err := st.Put(ctx, 3, data); err != nil {
+			t.Fatal(err)
+		}
+		// Store head 3 < activated 5: a regression, skipped not activated.
+		if act, err := d.PollOnce(ctx); err != nil || act {
+			t.Fatalf("regressive poll = %v/%v, want skip", act, err)
+		}
+		if target.count() != 0 || d.Revision() != 5 {
+			t.Fatalf("regression activated: %d attachments, rev %d", target.count(), d.Revision())
+		}
+	})
+
+	t.Run("manifest revision disagrees with store key", func(t *testing.T) {
+		st := newDirStore(t)
+		target := &recordingTarget{}
+		d := newTestDistributor(t, st, target)
+		// A bundle claiming revision 1 stored under key 7 — replay of an
+		// old artifact at a new position must refuse.
+		data, _ := buildBundle(t, &scaleEstimator{Scale: 9}, 1, bundle.Meta{})
+		if err := st.Put(ctx, 7, data); err != nil {
+			t.Fatal(err)
+		}
+		_, err := d.PollOnce(ctx)
+		if err == nil || !strings.Contains(err.Error(), "holds manifest revision") {
+			t.Fatalf("err = %v, want store/manifest revision disagreement", err)
+		}
+		if target.count() != 0 {
+			t.Fatal("replayed bundle reached the target")
+		}
+	})
+
+	t.Run("activation failure", func(t *testing.T) {
+		st := newDirStore(t)
+		target := &recordingTarget{fail: context.DeadlineExceeded}
+		d := newTestDistributor(t, st, target)
+		data, _ := buildBundle(t, &scaleEstimator{Scale: 2}, 1, bundle.Meta{})
+		if err := st.Put(ctx, 1, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.PollOnce(ctx); err == nil {
+			t.Fatal("failed activation reported success")
+		}
+		if d.Revision() != 0 {
+			t.Fatalf("revision advanced past a failed activation: %d", d.Revision())
+		}
+	})
+}
+
+// TestDistributorBackoff checks the failure gate: after an error the
+// next polls inside the backoff window are no-ops, and the window grows
+// exponentially up to the cap.
+func TestDistributorBackoff(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	target := &recordingTarget{}
+
+	now := time.Unix(1000, 0)
+	d, err := bundle.NewDistributor(bundle.DistConfig{
+		Store:      st,
+		Target:     target,
+		Estimator:  testEstimatorName,
+		Interval:   time.Second,
+		MaxBackoff: 4 * time.Second,
+		Now:        func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	if err := st.Put(ctx, 1, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PollOnce(ctx); err == nil {
+		t.Fatal("garbage activated")
+	}
+	st1 := d.Status()
+	if st1.BackoffUntil.IsZero() {
+		t.Fatalf("no backoff after failure: %+v", st1)
+	}
+	// Inside the window: skipped without even counting a poll.
+	polls := st1.Polls
+	if _, err := d.PollOnce(ctx); err != nil {
+		t.Fatalf("in-backoff poll errored: %v", err)
+	}
+	if d.Status().Polls != polls {
+		t.Fatal("in-backoff poll was not gated")
+	}
+	// Past the window: retried, failed again, backoff doubled.
+	now = now.Add(1100 * time.Millisecond)
+	if _, err := d.PollOnce(ctx); err == nil {
+		t.Fatal("garbage activated on retry")
+	}
+	if until := d.Status().BackoffUntil.Sub(now); until != 2*time.Second {
+		t.Fatalf("second backoff = %v, want 2s", until)
+	}
+	// Two more failures pin at the cap.
+	for i := 0; i < 2; i++ {
+		now = now.Add(5 * time.Second)
+		d.PollOnce(ctx)
+	}
+	if until := d.Status().BackoffUntil.Sub(now); until != 4*time.Second {
+		t.Fatalf("capped backoff = %v, want 4s", until)
+	}
+
+	// Replace the garbage with a real head: success clears the backoff.
+	if err := st.Delete(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := buildBundle(t, &scaleEstimator{Scale: 2}, 2, bundle.Meta{})
+	if err := st.Put(ctx, 2, data); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(5 * time.Second)
+	if act, err := d.PollOnce(ctx); err != nil || !act {
+		t.Fatalf("recovery poll = %v/%v", act, err)
+	}
+	if s := d.Status(); !s.BackoffUntil.IsZero() || s.LastError != "" {
+		t.Fatalf("backoff not cleared by success: %+v", s)
+	}
+}
+
+func TestDistributorMarkActivated(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+	target := &recordingTarget{}
+	d := newTestDistributor(t, st, target)
+
+	man, err := pub.Publish(ctx, &scaleEstimator{Scale: 2}, bundle.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The publishing replica's accept path already attached the model.
+	d.MarkActivated(man)
+	if act, err := d.PollOnce(ctx); err != nil || act {
+		t.Fatalf("poll after MarkActivated = %v/%v, want skip", act, err)
+	}
+	if target.count() != 0 {
+		t.Fatal("marked revision re-activated")
+	}
+	// Stale marks are ignored.
+	d.MarkActivated(bundle.Manifest{Revision: 1})
+	if d.Revision() != man.Revision {
+		t.Fatalf("stale mark regressed revision to %d", d.Revision())
+	}
+}
+
+func TestDistributorRollbackLocal(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+	target := &recordingTarget{}
+	d := newTestDistributor(t, st, target)
+
+	for i := 1; i <= 3; i++ {
+		if _, err := pub.Publish(ctx, &scaleEstimator{Scale: float64(i)}, bundle.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.PollOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Revision() != 3 || target.lastScale() != 3 {
+		t.Fatalf("setup: rev %d scale %v", d.Revision(), target.lastScale())
+	}
+
+	// revision 0 = one before current.
+	man, err := d.Rollback(ctx, 0)
+	if err != nil || man.Revision != 2 {
+		t.Fatalf("Rollback = %+v (err %v), want rev 2", man, err)
+	}
+	if target.lastScale() != 2 {
+		t.Fatalf("rolled-back scale = %v, want 2", target.lastScale())
+	}
+	if s := d.Status(); s.Rollbacks != 1 || s.Revision != 2 {
+		t.Fatalf("status = %+v", s)
+	}
+
+	// Explicit ancient target.
+	if man, err := d.Rollback(ctx, 1); err != nil || man.Revision != 1 || target.lastScale() != 1 {
+		t.Fatalf("explicit rollback = %+v (err %v), scale %v", man, err, target.lastScale())
+	}
+	// Nothing older retained.
+	if _, err := d.Rollback(ctx, 0); err == nil {
+		t.Fatal("rollback below the oldest retained revision accepted")
+	}
+	// The next poll re-converges onto the store head — local rollback is
+	// an override, not a pin.
+	if act, err := d.PollOnce(ctx); err != nil || !act {
+		t.Fatalf("post-rollback poll = %v/%v, want re-activation of head", act, err)
+	}
+	if d.Revision() != 3 {
+		t.Fatalf("revision after re-poll = %d, want head 3", d.Revision())
+	}
+}
+
+// TestDistributorBackgroundLoop smoke-tests Start/Close: a published
+// revision is picked up without manual polling.
+func TestDistributorBackgroundLoop(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+	target := &recordingTarget{}
+	d := newTestDistributor(t, st, target)
+
+	if _, err := pub.Publish(ctx, &scaleEstimator{Scale: 2}, bundle.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Revision() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.Revision() != 1 {
+		t.Fatalf("background loop never activated: %+v", d.Status())
+	}
+	d.Close()
+	d.Close() // idempotent
+}

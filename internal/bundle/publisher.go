@@ -1,0 +1,154 @@
+package bundle
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+)
+
+// DefaultRetain is how many revisions a Publisher keeps when the caller
+// does not say — enough history to roll back past a bad run of
+// adaptations without the store growing unboundedly.
+const DefaultRetain = 5
+
+// Publisher assigns revisions and writes bundles to a store, pruning to
+// a retained history. One Publisher must own a store's revision
+// sequence (Publish serializes internally); distributors are read-only
+// peers.
+type Publisher struct {
+	store  Store
+	retain int
+
+	mu   sync.Mutex
+	last Manifest // most recently published; zero until the first Publish
+}
+
+// NewPublisher wraps a store. retain <= 0 selects DefaultRetain.
+func NewPublisher(store Store, retain int) *Publisher {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Publisher{store: store, retain: retain}
+}
+
+// Retain reports the configured history depth.
+func (p *Publisher) Retain() int { return p.retain }
+
+// Last returns the most recently published manifest and whether one
+// exists (this process's publishes only — it does not scan the store).
+func (p *Publisher) Last() (Manifest, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last, p.last.Revision != 0
+}
+
+// nextRevision peeks the store head and returns head+1 (1 when empty).
+func (p *Publisher) nextRevision(ctx context.Context) (int64, error) {
+	head, err := p.store.Latest(ctx)
+	switch {
+	case err == nil:
+		return head + 1, nil
+	case errors.Is(err, ErrNotFound):
+		return 1, nil
+	default:
+		return 0, err
+	}
+}
+
+// Publish builds est into the next revision, writes it to the store,
+// and prunes history beyond the retain depth.
+func (p *Publisher) Publish(ctx context.Context, est costmodel.Estimator, meta Meta) (Manifest, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	rev, err := p.nextRevision(ctx)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("bundle: next revision: %w", err)
+	}
+	var buf bytes.Buffer
+	man, err := Build(&buf, est, rev, meta)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := p.store.Put(ctx, rev, buf.Bytes()); err != nil {
+		return Manifest{}, err
+	}
+	p.last = man
+	p.prune(ctx)
+	return man, nil
+}
+
+// Rollback re-publishes a retained revision's payload as a NEW head
+// revision, so every polling distributor converges onto the restored
+// model through the normal download path — a durable, fleet-wide undo
+// rather than a local override the next poll would revert. revision 0
+// means "the one before the current head". The target must still be
+// retained and must verify.
+func (p *Publisher) Rollback(ctx context.Context, revision int64) (Manifest, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	revs, err := p.store.Revisions(ctx)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(revs) == 0 {
+		return Manifest{}, fmt.Errorf("bundle: rollback: %w: store is empty", ErrNotFound)
+	}
+	head := revs[len(revs)-1]
+	if revision == 0 {
+		if len(revs) < 2 {
+			return Manifest{}, fmt.Errorf("bundle: rollback: no revision before head %d is retained", head)
+		}
+		revision = revs[len(revs)-2]
+	}
+	if revision >= head {
+		return Manifest{}, fmt.Errorf("bundle: rollback target %d is not before head %d", revision, head)
+	}
+
+	rc, err := p.store.Fetch(ctx, revision)
+	if err != nil {
+		return Manifest{}, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return Manifest{}, fmt.Errorf("bundle: read rollback target %d: %w", revision, err)
+	}
+	man, payload, err := readArchive(bytes.NewReader(data))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("rollback target %d: %w", revision, err)
+	}
+
+	man.RollbackOf = revision
+	man.RolledBackFrom = head
+	man.Revision = head + 1
+	var buf bytes.Buffer
+	if err := Rewrap(&buf, man, payload); err != nil {
+		return Manifest{}, err
+	}
+	if err := p.store.Put(ctx, man.Revision, buf.Bytes()); err != nil {
+		return Manifest{}, err
+	}
+	p.last = man
+	p.prune(ctx)
+	return man, nil
+}
+
+// prune drops revisions beyond the retain depth, oldest first. Pruning
+// is best-effort: a failed delete never fails the publish that
+// triggered it.
+func (p *Publisher) prune(ctx context.Context) {
+	revs, err := p.store.Revisions(ctx)
+	if err != nil || len(revs) <= p.retain {
+		return
+	}
+	for _, rev := range revs[:len(revs)-p.retain] {
+		_ = p.store.Delete(ctx, rev)
+	}
+}

@@ -1,0 +1,114 @@
+package bundle_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
+)
+
+func TestPublisherSequencesAndPrunes(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 3)
+
+	for i := 1; i <= 5; i++ {
+		man, err := pub.Publish(ctx, &scaleEstimator{Scale: float64(i)}, bundle.Meta{Samples: i})
+		if err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+		if man.Revision != int64(i) {
+			t.Fatalf("revision = %d, want %d", man.Revision, i)
+		}
+	}
+	revs, err := st.Revisions(ctx)
+	if err != nil || len(revs) != 3 || revs[0] != 3 || revs[2] != 5 {
+		t.Fatalf("retained = %v (err %v), want [3 4 5]", revs, err)
+	}
+	last, ok := pub.Last()
+	if !ok || last.Revision != 5 || last.Samples != 5 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+}
+
+func TestPublisherRollbackRepublishes(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+
+	var wantSHA string
+	for i := 1; i <= 3; i++ {
+		man, err := pub.Publish(ctx, &scaleEstimator{Scale: float64(i)}, bundle.Meta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			wantSHA = man.SHA256
+		}
+	}
+
+	// revision 0 = the one before head: rev 2's payload as new head 4.
+	man, err := pub.Rollback(ctx, 0)
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if man.Revision != 4 || man.RollbackOf != 2 || man.RolledBackFrom != 3 {
+		t.Fatalf("rollback manifest = %+v, want rev 4 of 2 from 3", man)
+	}
+	if man.SHA256 != wantSHA {
+		t.Fatalf("rollback payload checksum %s != original rev 2 %s", man.SHA256, wantSHA)
+	}
+
+	// The republished head verifies and decodes back to rev 2's model.
+	rc, err := st.Fetch(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, err := bundle.Open(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Estimator.(*scaleEstimator).Scale; got != 2 {
+		t.Fatalf("rolled-back model scale = %v, want 2", got)
+	}
+
+	// Explicit target, validation corners.
+	if _, err := pub.Rollback(ctx, 4); err == nil {
+		t.Fatal("rollback to head accepted")
+	}
+	if _, err := pub.Rollback(ctx, 99); err == nil {
+		t.Fatal("rollback beyond head accepted")
+	}
+	if man, err := pub.Rollback(ctx, 1); err != nil || man.RollbackOf != 1 || man.Revision != 5 {
+		t.Fatalf("explicit rollback = %+v (err %v)", man, err)
+	}
+}
+
+func TestPublisherRollbackEmptyAndSingle(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	pub := bundle.NewPublisher(st, 5)
+	if _, err := pub.Rollback(ctx, 0); err == nil {
+		t.Fatal("rollback on an empty store accepted")
+	}
+	if _, err := pub.Publish(ctx, &scaleEstimator{Scale: 1}, bundle.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Rollback(ctx, 0); err == nil {
+		t.Fatal("rollback with one retained revision accepted")
+	}
+}
+
+func TestPublisherResumesFromStoreHead(t *testing.T) {
+	// A restarted publisher must continue the sequence, not restart at 1.
+	ctx := context.Background()
+	st := newDirStore(t)
+	if _, err := bundle.NewPublisher(st, 5).Publish(ctx, &scaleEstimator{Scale: 1}, bundle.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := bundle.NewPublisher(st, 5).Publish(ctx, &scaleEstimator{Scale: 2}, bundle.Meta{})
+	if err != nil || man.Revision != 2 {
+		t.Fatalf("second publisher revision = %d (err %v), want 2", man.Revision, err)
+	}
+}

@@ -1,0 +1,197 @@
+package bundle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNotFound reports a revision absent from a store — distinct from
+// ErrBadBundle (present but unverifiable) so pollers can tell "nothing
+// published yet" from "published garbage".
+var ErrNotFound = errors.New("bundle: revision not found")
+
+// Store is where bundles live between publisher and distributors. The
+// local DirStore is the only implementation today; the interface is
+// deliberately the minimal GET/PUT/LIST surface an HTTP or object-store
+// backend would also offer (Latest is the ETag analogue — one cheap
+// call that lets a poller skip the download entirely).
+type Store interface {
+	// Latest returns the highest revision in the store, or ErrNotFound
+	// when the store is empty.
+	Latest(ctx context.Context) (int64, error)
+	// Fetch opens the archive for one revision; ErrNotFound if absent.
+	Fetch(ctx context.Context, revision int64) (io.ReadCloser, error)
+	// Put stores the archive bytes for a revision. Revisions are
+	// immutable: overwriting an existing revision is an error.
+	Put(ctx context.Context, revision int64, data []byte) error
+	// Revisions lists all retained revisions in ascending order.
+	Revisions(ctx context.Context) ([]int64, error)
+	// Delete removes a retained revision (pruning). Deleting an absent
+	// revision is not an error.
+	Delete(ctx context.Context, revision int64) error
+}
+
+// DirStore keeps bundles as files in one directory, named
+// bundle-%012d.tgz so lexical order is revision order. Writes go
+// through a temp file + rename, so a concurrent Fetch never sees a
+// half-written archive.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("bundle: store directory is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bundle: create store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// path returns the archive path for a revision.
+func (s *DirStore) path(revision int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("bundle-%012d.tgz", revision))
+}
+
+func (s *DirStore) Latest(ctx context.Context) (int64, error) {
+	revs, err := s.Revisions(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if len(revs) == 0 {
+		return 0, ErrNotFound
+	}
+	return revs[len(revs)-1], nil
+}
+
+func (s *DirStore) Fetch(ctx context.Context, revision int64) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.path(revision))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: revision %d", ErrNotFound, revision)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bundle: open revision %d: %w", revision, err)
+	}
+	return f, nil
+}
+
+func (s *DirStore) Put(ctx context.Context, revision int64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if revision < 1 {
+		return fmt.Errorf("bundle: revision must be >= 1, got %d", revision)
+	}
+	dst := s.path(revision)
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("bundle: revision %d already exists (revisions are immutable)", revision)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".bundle-*.tmp")
+	if err != nil {
+		return fmt.Errorf("bundle: stage revision %d: %w", revision, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("bundle: write revision %d: %w", revision, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("bundle: flush revision %d: %w", revision, err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("bundle: commit revision %d: %w", revision, err)
+	}
+	return nil
+}
+
+func (s *DirStore) Revisions(ctx context.Context) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: list store: %w", err)
+	}
+	var revs []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "bundle-") || !strings.HasSuffix(name, ".tgz") {
+			continue
+		}
+		rev, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "bundle-"), ".tgz"), 10, 64)
+		if err != nil || rev < 1 {
+			continue
+		}
+		revs = append(revs, rev)
+	}
+	sort.Slice(revs, func(i, j int) bool { return revs[i] < revs[j] })
+	return revs, nil
+}
+
+func (s *DirStore) Delete(ctx context.Context, revision int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(s.path(revision))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("bundle: delete revision %d: %w", revision, err)
+	}
+	return nil
+}
+
+// FetchManifest verifies one stored revision and returns its manifest —
+// the listing primitive behind `zsdb bundle list` and GET /v1/bundles.
+func FetchManifest(ctx context.Context, store Store, revision int64) (Manifest, error) {
+	rc, err := store.Fetch(ctx, revision)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer rc.Close()
+	man, err := Inspect(rc)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("revision %d: %w", revision, err)
+	}
+	return man, nil
+}
+
+// List inspects every retained revision, ascending. A revision that
+// fails verification is reported in place with a zero manifest holding
+// only the revision, so an operator sees corruption instead of a gap;
+// the error from the worst offender is returned alongside the list.
+func List(ctx context.Context, store Store) ([]Manifest, error) {
+	revs, err := store.Revisions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	out := make([]Manifest, 0, len(revs))
+	for _, rev := range revs {
+		man, err := FetchManifest(ctx, store, rev)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			man = Manifest{Revision: rev}
+		}
+		out = append(out, man)
+	}
+	return out, firstErr
+}

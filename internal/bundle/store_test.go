@@ -1,0 +1,115 @@
+package bundle_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/bundle"
+)
+
+func newDirStore(t *testing.T) *bundle.DirStore {
+	t.Helper()
+	st, err := bundle.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDirStoreLifecycle(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+
+	if _, err := st.Latest(ctx); !errors.Is(err, bundle.ErrNotFound) {
+		t.Fatalf("empty Latest err = %v, want ErrNotFound", err)
+	}
+	if _, err := st.Fetch(ctx, 1); !errors.Is(err, bundle.ErrNotFound) {
+		t.Fatalf("empty Fetch err = %v, want ErrNotFound", err)
+	}
+
+	for rev, body := range map[int64]string{1: "one", 2: "two", 5: "five"} {
+		if err := st.Put(ctx, rev, []byte(body)); err != nil {
+			t.Fatalf("Put(%d): %v", rev, err)
+		}
+	}
+	head, err := st.Latest(ctx)
+	if err != nil || head != 5 {
+		t.Fatalf("Latest = %d (err %v), want 5", head, err)
+	}
+	revs, err := st.Revisions(ctx)
+	if err != nil || len(revs) != 3 || revs[0] != 1 || revs[2] != 5 {
+		t.Fatalf("Revisions = %v (err %v), want [1 2 5]", revs, err)
+	}
+	rc, err := st.Fetch(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(body) != "two" {
+		t.Fatalf("Fetch(2) = %q (err %v)", body, err)
+	}
+
+	// Revisions are immutable.
+	if err := st.Put(ctx, 2, []byte("rewrite")); err == nil {
+		t.Fatal("Put overwrote an existing revision")
+	}
+
+	if err := st.Delete(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(ctx, 1); err != nil {
+		t.Fatalf("re-delete errored: %v", err)
+	}
+	revs, _ = st.Revisions(ctx)
+	if len(revs) != 2 || revs[0] != 2 {
+		t.Fatalf("Revisions after delete = %v", revs)
+	}
+}
+
+func TestDirStoreIgnoresForeignFiles(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	if err := st.Put(ctx, 3, []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	// Debris a real directory accumulates: temp files, notes, bad names.
+	for _, name := range []string{"README", ".bundle-123.tmp", "bundle-abc.tgz", "bundle-000000000000.tgz"} {
+		if err := os.WriteFile(filepath.Join(st.Dir(), name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	revs, err := st.Revisions(ctx)
+	if err != nil || len(revs) != 1 || revs[0] != 3 {
+		t.Fatalf("Revisions = %v (err %v), want [3]", revs, err)
+	}
+}
+
+func TestListSurfacesCorruptRevisions(t *testing.T) {
+	ctx := context.Background()
+	st := newDirStore(t)
+	data, man := buildBundle(t, &scaleEstimator{Scale: 1}, 1, bundle.Meta{})
+	if err := st.Put(ctx, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(ctx, 2, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	mans, err := bundle.List(ctx, st)
+	if err == nil {
+		t.Fatal("List over a corrupt revision returned no error")
+	}
+	if len(mans) != 2 {
+		t.Fatalf("List = %d manifests, want 2", len(mans))
+	}
+	if mans[0].SHA256 != man.SHA256 {
+		t.Fatalf("good revision manifest = %+v", mans[0])
+	}
+	if mans[1].Revision != 2 || mans[1].SHA256 != "" {
+		t.Fatalf("corrupt revision placeholder = %+v, want bare revision 2", mans[1])
+	}
+}

@@ -90,6 +90,25 @@ type Event struct {
 	Replica string
 }
 
+// Backend is what the harness drives: a routable cluster backend whose
+// fault switches the schedule can flip. The scripted Replica satisfies
+// it natively; a real serving session satisfies it through Faulty.
+type Backend interface {
+	cluster.Backend
+	// Apply flips one fault switch.
+	Apply(a Action)
+	// Up reports whether the backend would answer a call right now.
+	Up() bool
+}
+
+// feedbackRecorder is the optional probe behind the feedback-ownership
+// invariant. Backends that do not record feedback (real sessions behind
+// Faulty) skip that check — the router's routing is still exercised,
+// only the landed-where assertion needs the probe.
+type feedbackRecorder interface {
+	LastFeedback() FeedbackRecord
+}
+
 // Config sizes one simulation.
 type Config struct {
 	// Replicas is the starting replica count (named s0..s{n-1}).
@@ -101,6 +120,17 @@ type Config struct {
 	Requests int
 	// Seed drives the workload generator; same seed, same run.
 	Seed int64
+	// Workload, when set, replaces the synthetic SQL generator: step i
+	// issues Workload[i % len(Workload)] — real statements for backends
+	// that actually parse and plan. Empty keeps the synthetic generator.
+	Workload []string
+	// Model is the model name every request asks for (default "model";
+	// scripted replicas ignore it, real sessions resolve it).
+	Model string
+	// NewBackend builds one replica (initial and AddReplica alike). Nil
+	// selects the scripted Replica — wrap real sessions with Faulty here
+	// to run the harness over actual serving stacks.
+	NewBackend func(name string) (Backend, error)
 	// FeedbackEvery sends a feedback for every k-th successful
 	// prediction (0 disables feedback traffic).
 	FeedbackEvery int
@@ -131,6 +161,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowLatency <= 0 {
 		c.SlowLatency = 50 * time.Millisecond
+	}
+	if c.Model == "" {
+		c.Model = "model"
 	}
 	return c
 }
@@ -178,9 +211,11 @@ type Result struct {
 type Sim struct {
 	cfg      Config
 	router   *cluster.Router
-	replicas map[string]*Replica
+	replicas map[string]Backend
 	rng      *rand.Rand
 	next     int // suffix for AddReplica names
+	step     int // next request step (for incremental driving)
+	finished bool
 
 	res Result
 	// expectedRuntime pins the first prediction seen per (db|sql) so
@@ -201,7 +236,7 @@ func New(cfg Config) (*Sim, error) {
 			HealthTimeout: cfg.CallTimeout,
 			MaxAttempts:   cfg.MaxAttempts,
 		}),
-		replicas:        map[string]*Replica{},
+		replicas:        map[string]Backend{},
 		rng:             rand.New(rand.NewSource(cfg.Seed)),
 		expectedRuntime: map[string]float64{},
 	}
@@ -216,7 +251,16 @@ func New(cfg Config) (*Sim, error) {
 }
 
 func (s *Sim) addReplica(name string) error {
-	rep := NewReplica(name, s.cfg.SlowLatency)
+	var rep Backend
+	if s.cfg.NewBackend != nil {
+		var err error
+		rep, err = s.cfg.NewBackend(name)
+		if err != nil {
+			return err
+		}
+	} else {
+		rep = NewReplica(name, s.cfg.SlowLatency)
+	}
 	if err := s.router.Register(rep); err != nil {
 		return err
 	}
@@ -227,8 +271,29 @@ func (s *Sim) addReplica(name string) error {
 // Router exposes the router under test (read-only use in assertions).
 func (s *Sim) Router() *cluster.Router { return s.router }
 
-// Replica returns a scripted replica by name (nil if unknown).
-func (s *Sim) Replica(name string) *Replica { return s.replicas[name] }
+// Replica returns a backend by name (nil if unknown).
+func (s *Sim) Replica(name string) Backend { return s.replicas[name] }
+
+// Fault applies one action to a replica outside the schedule — the
+// incremental-driving analogue of an Event — then re-probes health so
+// the router's marks deterministically reflect the new fault state.
+func (s *Sim) Fault(ctx context.Context, name string, a Action) error {
+	rep := s.replicas[name]
+	if rep == nil {
+		return fmt.Errorf("sim: unknown replica %q", name)
+	}
+	rep.Apply(a)
+	s.router.CheckHealth(ctx)
+	return nil
+}
+
+// ResetExpectations clears the bitwise-consistency map. Call it when
+// the fleet's serving generation legitimately changes (a model bundle
+// activated or rolled back): predictions after the swap must agree with
+// each other, not with the previous generation.
+func (s *Sim) ResetExpectations() {
+	s.expectedRuntime = map[string]float64{}
+}
 
 // violatef records one invariant breach.
 func (s *Sim) violatef(step int, format string, args ...any) {
@@ -302,44 +367,74 @@ func (s *Sim) upCandidates(db string) (int, string) {
 	return up, first
 }
 
-// Run executes the workload and returns the accumulated result. Call
-// once; the router is closed before returning.
+// Run executes the whole configured workload and returns the result.
+// Call once; the router is closed before returning. Incremental drivers
+// use Step and Finish instead.
 func (s *Sim) Run(ctx context.Context) Result {
-	defer s.router.Close()
-	succ := 0
-	for step := 0; step < s.cfg.Requests; step++ {
-		s.applyEvents(ctx, step)
-		db := s.cfg.Databases[s.rng.Intn(len(s.cfg.Databases))]
-		sql := fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x > %d", s.rng.Intn(10_000))
-		up, firstUp := s.upCandidates(db)
-		p, err := s.router.Predict(ctx, db, "model", sql)
-		o := Outcome{Step: step, DB: db, SQL: sql, Err: err, UpCandidates: up}
-		if err == nil {
-			o.RuntimeSec, o.Fingerprint = p.RuntimeSec, p.Fingerprint
-			s.res.Succeeded++
-			succ++
-			key := db + "|" + sql
-			if want, seen := s.expectedRuntime[key]; !seen {
-				s.expectedRuntime[key] = p.RuntimeSec
-			} else if want != p.RuntimeSec {
-				s.violatef(step, "prediction for %q on %q changed: %v then %v (failover must not change answers)",
-					sql, db, want, p.RuntimeSec)
-			}
-			if s.cfg.FeedbackEvery > 0 && succ%s.cfg.FeedbackEvery == 0 {
-				s.feedback(ctx, step, db, p.Fingerprint, p.RuntimeSec, firstUp)
-			}
-		} else if up > 0 {
-			s.res.FailedLost++
-			s.violatef(step, "request for %q LOST: %d candidate(s) up but Predict failed: %v", db, up, err)
-		} else {
-			s.res.FailedExpected++
-		}
-		s.res.Outcomes = append(s.res.Outcomes, o)
+	s.Step(ctx, s.cfg.Requests-s.step)
+	return s.Finish(ctx)
+}
+
+// Step advances the workload by n request steps (bounded by the
+// configured total) and returns the number actually executed. Between
+// calls the driver may apply Faults, reset expectations, or mutate the
+// backends — the seeded request sequence is unaffected by the pauses.
+func (s *Sim) Step(ctx context.Context, n int) int {
+	ran := 0
+	for ; ran < n && s.step < s.cfg.Requests && !s.finished; ran++ {
+		s.runStep(ctx, s.step)
+		s.step++
 	}
-	if st, err := s.router.Stats(ctx); err == nil {
-		s.res.Failovers = st.Failovers
+	return ran
+}
+
+// Finish closes the router and returns the accumulated result. Further
+// Step calls are no-ops.
+func (s *Sim) Finish(ctx context.Context) Result {
+	if !s.finished {
+		if st, err := s.router.Stats(ctx); err == nil {
+			s.res.Failovers = st.Failovers
+		}
+		s.router.Close()
+		s.finished = true
 	}
 	return s.res
+}
+
+// runStep issues one workload request and checks the invariants.
+func (s *Sim) runStep(ctx context.Context, step int) {
+	s.applyEvents(ctx, step)
+	db := s.cfg.Databases[s.rng.Intn(len(s.cfg.Databases))]
+	var sql string
+	if len(s.cfg.Workload) > 0 {
+		sql = s.cfg.Workload[step%len(s.cfg.Workload)]
+		s.rng.Intn(10_000) // keep the seeded stream aligned across configs
+	} else {
+		sql = fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x > %d", s.rng.Intn(10_000))
+	}
+	up, firstUp := s.upCandidates(db)
+	p, err := s.router.Predict(ctx, db, s.cfg.Model, sql)
+	o := Outcome{Step: step, DB: db, SQL: sql, Err: err, UpCandidates: up}
+	if err == nil {
+		o.RuntimeSec, o.Fingerprint = p.RuntimeSec, p.Fingerprint
+		s.res.Succeeded++
+		key := db + "|" + sql
+		if want, seen := s.expectedRuntime[key]; !seen {
+			s.expectedRuntime[key] = p.RuntimeSec
+		} else if want != p.RuntimeSec {
+			s.violatef(step, "prediction for %q on %q changed: %v then %v (failover must not change answers)",
+				sql, db, want, p.RuntimeSec)
+		}
+		if s.cfg.FeedbackEvery > 0 && s.res.Succeeded%s.cfg.FeedbackEvery == 0 {
+			s.feedback(ctx, step, db, p.Fingerprint, p.RuntimeSec, firstUp)
+		}
+	} else if up > 0 {
+		s.res.FailedLost++
+		s.violatef(step, "request for %q LOST: %d candidate(s) up but Predict failed: %v", db, up, err)
+	} else {
+		s.res.FailedExpected++
+	}
+	s.res.Outcomes = append(s.res.Outcomes, o)
 }
 
 // feedback routes one observed runtime and checks it lands on the
@@ -350,8 +445,8 @@ func (s *Sim) feedback(ctx context.Context, step int, db, fp string, runtime flo
 		return
 	}
 	s.res.FeedbackSent++
-	rep := s.replicas[expect]
-	if rep == nil {
+	rep, ok := s.replicas[expect].(feedbackRecorder)
+	if !ok {
 		return
 	}
 	if got := rep.LastFeedback(); got.DB != db || got.Fingerprint != fp {

@@ -178,7 +178,7 @@ func TestSimFeedbackFollowsFailover(t *testing.T) {
 	// every record it holds predates the crash or postdates recovery.
 	// (Ownership routing is already asserted per-send by the harness;
 	// this checks the flip side — nothing leaked to a dead replica.)
-	if n := len(s.Replica("s0").Feedbacks()); n > 0 && res.FeedbackSent == n {
+	if n := len(s.Replica("s0").(*Replica).Feedbacks()); n > 0 && res.FeedbackSent == n {
 		t.Fatalf("all %d feedbacks landed on s0 despite its 100-step outage", n)
 	}
 }
