@@ -14,6 +14,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/adapt"
 	"github.com/zeroshot-db/zeroshot/internal/bundle"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 )
 
@@ -56,11 +57,15 @@ type bundleControl struct {
 	store     *bundle.DirStore
 	pub       *bundle.Publisher
 	dists     map[string]*bundle.Distributor // keyed by replica name
+	// events is the process-wide control-plane log every publish,
+	// activation and rollback records into (nil disables).
+	events *obs.Log
 }
 
-// newBundleControl opens the store and publisher. Distributors attach
-// per replica afterwards.
-func (bf bundleFlags) newControl(models []costmodel.Estimator) (*bundleControl, error) {
+// newControl opens the store and publisher. Distributors attach per
+// replica afterwards. events, when non-nil, receives every bundle
+// publish/activate/rollback.
+func (bf bundleFlags) newControl(models []costmodel.Estimator, events *obs.Log) (*bundleControl, error) {
 	if bf.dir == "" {
 		return nil, nil
 	}
@@ -75,8 +80,9 @@ func (bf bundleFlags) newControl(models []costmodel.Estimator) (*bundleControl, 
 	return &bundleControl{
 		estimator: estName,
 		store:     store,
-		pub:       bundle.NewPublisher(store, bf.retain),
+		pub:       bundle.NewPublisher(store, bf.retain).WithEvents(events),
 		dists:     map[string]*bundle.Distributor{},
+		events:    events,
 	}, nil
 }
 
@@ -88,6 +94,8 @@ func (bc *bundleControl) attach(replica string, sess *serving.Session, poll time
 		Target:    sess,
 		Estimator: bc.estimator,
 		Interval:  poll,
+		Events:    bc.events,
+		Origin:    replica,
 	})
 	if err != nil {
 		return nil, err

@@ -32,7 +32,7 @@ func TestBundleFleetAdaptConvergeFailoverRollback(t *testing.T) {
 	bf := bundleFlags{dir: storeDir, poll: time.Hour, retain: bundle.DefaultRetain}
 
 	boot := &cmdScaleEstimator{Scale: 1}
-	bc, err := bf.newControl([]costmodel.Estimator{boot})
+	bc, err := bf.newControl([]costmodel.Estimator{boot}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

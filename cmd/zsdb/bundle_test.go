@@ -107,7 +107,7 @@ func newBundleFixture(t *testing.T, scale float64) (*serving.Session, *bundleCon
 	t.Cleanup(func() { sess.Close() })
 
 	bf := bundleFlags{dir: t.TempDir(), poll: time.Hour, retain: bundle.DefaultRetain}
-	bc, err := bf.newControl([]costmodel.Estimator{est})
+	bc, err := bf.newControl([]costmodel.Estimator{est}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func TestClusterBundleConvergence(t *testing.T) {
 	bf := bundleFlags{dir: t.TempDir(), poll: time.Hour, retain: bundle.DefaultRetain}
 
 	boot := &cmdScaleEstimator{Scale: 1}
-	bc, err := bf.newControl([]costmodel.Estimator{boot})
+	bc, err := bf.newControl([]costmodel.Estimator{boot}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

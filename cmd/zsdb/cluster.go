@@ -11,6 +11,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/bundle"
 	"github.com/zeroshot-db/zeroshot/internal/cluster"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
 
@@ -30,6 +31,10 @@ type clusterServer struct {
 	// distribution is off — and in route mode, where each serve node owns
 	// its own store.
 	bundles *bundleControl
+	// tracer and events are the process-wide observability surfaces
+	// behind /v1/debug/traces and /v1/events (404 when unwired).
+	tracer *obs.Tracer
+	events *obs.Log
 }
 
 func newClusterServer(router *cluster.Router) *clusterServer {
@@ -50,7 +55,19 @@ func (s *clusterServer) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
 	mux.HandleFunc("/v1/bundles", s.handleBundles)
+	mux.HandleFunc("/v1/debug/traces", s.handleTraces)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	return mux
+}
+
+// handleTraces and handleEvents defer to the shared handlers — the
+// fields are read per request so tests can wire them after mux().
+func (s *clusterServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	handleTraces(s.tracer)(w, r)
+}
+
+func (s *clusterServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	handleEvents(s.events)(w, r)
 }
 
 // handleBundles delegates to the shared bundle handler — the same body

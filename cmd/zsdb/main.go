@@ -21,6 +21,9 @@
 //	zsdb bundle   <build|inspect|push|list|rollback>  model-bundle store operations
 //	zsdb explain  -sql "SELECT ..."        plan, execute and explain a query
 //	zsdb advise   -model m.gob -workload f what-if index advisor over a workload
+//	zsdb doctor   [-addr url1,url2] [-o b.tgz]  collect a support bundle and diagnose it
+//	zsdb doctor analyze -bundle b.tgz      re-run the diagnosis offline on a saved bundle
+//	zsdb trace    [-addr url]              render sampled pipeline traces and the slow-query log
 //	zsdb gendata  [-seed N]                print a generated schema (debugging)
 //
 // Saved model files are self-describing: eval, serve and explain
@@ -43,6 +46,18 @@
 //	GET  /v1/adapt/status   feedback windows, drift, swap counters (-adapt only)
 //	GET  /v1/bundles        store revisions + per-replica distributor status (-bundle-dir only)
 //	POST /v1/bundles        {"action":"refresh"} or {"action":"rollback","revision":N}
+//	GET  /v1/debug/traces   sampled pipeline traces + the always-on slow-query log
+//	GET  /v1/events?since=N control-plane event log (swaps, bundles, health, failovers)
+//
+// -trace-sample N records a full per-stage span trace (parse, optimize,
+// featurize, encode, predict, plus scheduler batch attribution and
+// router failover hops) for every Nth request; with sampling off the
+// request path allocates nothing extra. -trace-slow keeps an always-on
+// slow-query log regardless of sampling. -debug-addr starts
+// net/http/pprof on a separate listener, never on the serving port.
+// zsdb trace renders the trace rings; zsdb doctor snapshots every
+// diagnostic endpoint into a gzip'd support bundle and runs pass/warn/
+// fail analyzers over it (zsdb doctor analyze re-runs them offline).
 //
 // "db" and "model" may be omitted when exactly one is attached. Batch
 // replies carry structured per-item errors: one malformed statement does
@@ -211,6 +226,10 @@ func run(cmd string, args []string) error {
 		return runExplain(args)
 	case "advise":
 		return runAdvise(args)
+	case "doctor":
+		return runDoctor(args)
+	case "trace":
+		return runTrace(args)
 	case "gendata":
 		return runGendata(args)
 	default:
@@ -219,7 +238,7 @@ func run(cmd string, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|whatif|all|train|eval|serve|route|bundle|explain|advise|gendata> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zsdb <figure3|table1|dbsweep|fewshot|ablation|online|whatif|all|train|eval|serve|route|bundle|explain|advise|doctor|trace|gendata> [flags]`)
 }
 
 // scaleConfig resolves -scale and -seed flags into an experiment config.

@@ -29,6 +29,8 @@ func runRoute(args []string) error {
 	healthEvery := fs.Duration("health-interval", 2*time.Second, "background health probe period")
 	maxAttempts := fs.Int("max-attempts", 0, "failover candidates per request (0 = all backends)")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown timeout")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,10 +52,18 @@ func runRoute(args []string) error {
 			return fmt.Errorf("route: -names has %d entries for %d backends", len(nameList), len(urls))
 		}
 	}
+	tracer, events := of.build()
+	stopDebug, err := of.startDebug()
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	router := cluster.NewRouter(cluster.Config{
 		CallTimeout:    *callTimeout,
 		HealthInterval: *healthEvery,
 		MaxAttempts:    *maxAttempts,
+		Tracer:         tracer,
+		Events:         events,
 	})
 	for i, u := range urls {
 		name := ""
@@ -90,8 +100,10 @@ func runRoute(args []string) error {
 		router.Close()
 		return err
 	}
+	srv := newClusterServer(router)
+	srv.tracer, srv.events = tracer, events
 	httpSrv := &http.Server{
-		Handler:           newClusterServer(router).mux(),
+		Handler:           srv.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	sigs := make(chan os.Signal, 1)

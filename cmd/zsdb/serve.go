@@ -21,6 +21,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 	"github.com/zeroshot-db/zeroshot/internal/whatif"
@@ -39,6 +40,10 @@ type server struct {
 	// bundles is the model-bundle plumbing (store, publisher, this
 	// session's distributor); nil unless -bundle-dir.
 	bundles *bundleControl
+	// tracer and events are the process-wide observability surfaces
+	// behind /v1/debug/traces and /v1/events (nil-safe when unwired).
+	tracer *obs.Tracer
+	events *obs.Log
 }
 
 func newServer(sess *serving.Session) *server { return &server{sess: sess} }
@@ -56,7 +61,19 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/adapt/status", s.handleAdaptStatus)
 	mux.HandleFunc("/v1/bundles", s.handleBundles)
+	mux.HandleFunc("/v1/debug/traces", s.handleTraces)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	return mux
+}
+
+// handleTraces and handleEvents defer to the shared handlers — the
+// fields are read per request so tests can wire them after mux().
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	handleTraces(s.tracer)(w, r)
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	handleEvents(s.events)(w, r)
 }
 
 // handleBundles defers to the shared bundle handler — s.bundles is read
@@ -559,12 +576,16 @@ type adaptFlags struct {
 	model      string
 	windowSize int
 	minSamples int
+	// events, when non-nil, receives the loop's control-plane decisions
+	// (drift triggers, swap verdicts) in the process-wide event log.
+	events *obs.Log
 }
 
 // newLoopFor builds and starts one session's adaptation loop per the
 // flags (nil when -adapt is off). onAccept, when non-nil, hooks the
-// accept path — the bundle publisher's entry point.
-func (a adaptFlags) newLoopFor(sess *serving.Session, onAccept func(context.Context, costmodel.Estimator, adapt.ShadowEval, int)) (*adapt.Loop, error) {
+// accept path — the bundle publisher's entry point. origin names this
+// session in recorded events (the replica name, or "local").
+func (a adaptFlags) newLoopFor(sess *serving.Session, onAccept func(context.Context, costmodel.Estimator, adapt.ShadowEval, int), origin string) (*adapt.Loop, error) {
 	if !a.on {
 		return nil, nil
 	}
@@ -577,6 +598,8 @@ func (a adaptFlags) newLoopFor(sess *serving.Session, onAccept func(context.Cont
 		WindowSize: a.windowSize,
 		MinSamples: a.minSamples,
 		OnAccept:   onAccept,
+		Events:     a.events,
+		Origin:     origin,
 	})
 	if err != nil {
 		return nil, err
@@ -597,7 +620,10 @@ func buildReplicatedCluster(cfg serving.Config, dbSpec string, dbScale float64, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bc, err := bf.newControl(models)
+	// The publisher and distributors share the router's event log, so
+	// one /v1/events read shows swaps, publishes and health transitions
+	// interleaved in sequence order.
+	bc, err := bf.newControl(models, rcfg.Events)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -626,7 +652,7 @@ func buildReplicatedCluster(cfg serving.Config, dbSpec string, dbScale float64, 
 				return fail(err)
 			}
 		}
-		loop, err := af.newLoopFor(sess, bc.onAccept(dist))
+		loop, err := af.newLoopFor(sess, bc.onAccept(dist), name)
 		if err != nil {
 			return fail(err)
 		}
@@ -678,6 +704,8 @@ func runServe(args []string) error {
 	bundlePoll := fs.Duration("bundle-poll", bundle.DefaultInterval, "bundle distributor poll interval (jittered per replica)")
 	bundleRetain := fs.Int("bundle-retain", bundle.DefaultRetain, "bundle revisions to retain for rollback")
 	bundleModel := fs.String("bundle-model", "", "model the bundle tier distributes (default: the sole loaded model)")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -687,12 +715,19 @@ func runServe(args []string) error {
 	if *replicas < 1 {
 		return fmt.Errorf("serve: -replicas must be >= 1, got %d", *replicas)
 	}
+	tracer, events := of.build()
+	stopDebug, err := of.startDebug()
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	cfg := serving.Config{
 		MaxBatch:      *batchMax,
 		MaxWait:       *batchWait,
 		PlanCacheSize: *planCache,
+		Tracer:        tracer,
 	}
-	af := adaptFlags{on: *adaptOn, model: *adaptModel, windowSize: *adaptWindow, minSamples: *adaptMin}
+	af := adaptFlags{on: *adaptOn, model: *adaptModel, windowSize: *adaptWindow, minSamples: *adaptMin, events: events}
 	bf := bundleFlags{dir: *bundleDir, poll: *bundlePoll, retain: *bundleRetain, model: *bundleModel}
 
 	var handler http.Handler
@@ -703,6 +738,8 @@ func runServe(args []string) error {
 			CallTimeout:    *callTimeout,
 			MaxAttempts:    *maxAttempts,
 			HealthInterval: 2 * time.Second,
+			Tracer:         tracer,
+			Events:         events,
 		})
 		if err != nil {
 			return err
@@ -710,6 +747,7 @@ func runServe(args []string) error {
 		defer bc.close()
 		srv := newClusterServer(router)
 		srv.bundles = bc
+		srv.tracer, srv.events = tracer, events
 		if len(loops) > 0 {
 			srv.adaptStatus = func() map[string]adapt.Status {
 				out := make(map[string]adapt.Status, len(loops))
@@ -743,7 +781,8 @@ func runServe(args []string) error {
 			fmt.Fprintf(os.Stderr, "attached database %s (%s, scale %g)\n", kind, dbs[i].Schema.Name, *dbScale)
 		}
 		srv := newServer(sess)
-		bc, err := bf.newControl(models)
+		srv.tracer, srv.events = tracer, events
+		bc, err := bf.newControl(models, events)
 		if err != nil {
 			return err
 		}
@@ -760,7 +799,7 @@ func runServe(args []string) error {
 			srv.bundles = bc
 			fmt.Fprintf(os.Stderr, "bundle distribution enabled: %s polled every %v\n", *bundleDir, *bundlePoll)
 		}
-		loop, err := af.newLoopFor(sess, bc.onAccept(dist))
+		loop, err := af.newLoopFor(sess, bc.onAccept(dist), "local")
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/zeroshot-db/zeroshot/internal/obs"
+)
+
+// runTrace fetches /v1/debug/traces from a running server and renders
+// both rings — the sampled recent traces with their full per-stage
+// span breakdown, and the always-on slow-query log.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	n := fs.Int("n", 10, "traces to show from each ring (0 = everything retained)")
+	spans := fs.Bool("spans", true, "print the per-stage span breakdown under each sampled trace")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/debug/traces?n=%d", strings.TrimRight(*addr, "/"), *n)
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("trace: %s returned %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("trace: decode %s: %w", url, err)
+	}
+	fmt.Print(renderTraces(snap, *spans))
+	return nil
+}
+
+// renderTraces formats a trace snapshot for a terminal: the tracer
+// config line, then each ring newest-first.
+func renderTraces(snap obs.TraceSnapshot, spans bool) string {
+	var b strings.Builder
+	switch {
+	case snap.SampleEvery > 0:
+		fmt.Fprintf(&b, "sampling 1/%d (%d sampled", snap.SampleEvery, snap.Sampled)
+	default:
+		fmt.Fprintf(&b, "sampling off (%d sampled", snap.Sampled)
+	}
+	if snap.SlowThresholdMs > 0 {
+		fmt.Fprintf(&b, ", %d slow over %.0fms)\n", snap.Slow, snap.SlowThresholdMs)
+	} else {
+		fmt.Fprintf(&b, ", slow log off)\n")
+	}
+	writeRing := func(title string, traces []*obs.Trace) {
+		fmt.Fprintf(&b, "\n%s (%d):\n", title, len(traces))
+		if len(traces) == 0 {
+			fmt.Fprintln(&b, "  (none)")
+			return
+		}
+		for _, tr := range traces {
+			fmt.Fprintf(&b, "  #%-4d %s  %-7s %-10s %8.2fms", tr.ID,
+				tr.Time.Format("15:04:05.000"), tr.Op, orDash(tr.DB), float64(tr.TotalUs)/1e3)
+			if tr.BatchSize > 0 {
+				fmt.Fprintf(&b, "  batch=%d wait=%.2fms", tr.BatchSize, float64(tr.CoalesceUs)/1e3)
+			}
+			if tr.PlanCached {
+				b.WriteString("  plan-cached")
+			}
+			if tr.Err != "" {
+				fmt.Fprintf(&b, "  ERR %s", tr.Err)
+			}
+			b.WriteByte('\n')
+			if spans {
+				for _, sp := range tr.Spans {
+					fmt.Fprintf(&b, "        %-12s %8.2fms @ +%.2fms\n",
+						sp.Name, float64(sp.DurUs)/1e3, float64(sp.StartUs)/1e3)
+				}
+			}
+		}
+	}
+	writeRing("recent sampled traces", snap.Recent)
+	writeRing("slow queries", snap.SlowQueries)
+	return b.String()
+}
+
+// orDash substitutes a dash for an empty column value.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

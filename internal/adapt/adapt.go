@@ -41,12 +41,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 )
 
@@ -97,6 +99,11 @@ type Config struct {
 	// failures are its own to record (a publish error must not undo a
 	// locally accepted swap).
 	OnAccept func(ctx context.Context, est costmodel.Estimator, eval ShadowEval, samples int)
+	// Events, when non-nil, receives the loop's control-plane decisions
+	// (drift triggers, swap accepts/rejects) with Origin as the
+	// recording origin (e.g. the replica name). Nil disables.
+	Events *obs.Log
+	Origin string
 }
 
 func (c Config) withDefaults() Config {
@@ -346,6 +353,11 @@ func (l *Loop) Sweep(ctx context.Context) (accepted, rejected int) {
 		}
 	}
 	l.mu.Unlock()
+	for _, d := range work {
+		l.cfg.Events.Record(obs.EventDriftTriggered, l.cfg.Origin, map[string]string{
+			"db": d.db, "model": l.cfg.Model, "samples": strconv.Itoa(len(d.samples)),
+		})
+	}
 	var sweepErrs []string
 	for _, d := range work {
 		ok, err := l.adaptOne(ctx, d.db, d.samples)
@@ -435,6 +447,16 @@ func (l *Loop) adaptOne(ctx context.Context, db string, samples []costmodel.Samp
 	} else {
 		l.rejected.Inc()
 	}
+	typ := obs.EventSwapRejected
+	if eval.Accepted {
+		typ = obs.EventSwapAccepted
+	}
+	l.cfg.Events.Record(typ, l.cfg.Origin, map[string]string{
+		"db":         db,
+		"model":      l.cfg.Model,
+		"old_median": strconv.FormatFloat(oldMed, 'g', 4, 64),
+		"new_median": strconv.FormatFloat(newMed, 'g', 4, 64),
+	})
 	l.shadowMu.Lock()
 	if eval.Accepted {
 		l.lastSwap = eval.At

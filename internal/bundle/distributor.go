@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 )
 
 // Activator is the activation sink — satisfied by *serving.Session,
@@ -39,6 +41,11 @@ type DistConfig struct {
 	// process-wide source.
 	Now  func() time.Time
 	Rand *rand.Rand
+	// Events, when non-nil, receives bundle activation and rollback
+	// events with Origin as the recording origin (the replica name).
+	// Nil disables.
+	Events *obs.Log
+	Origin string
 }
 
 // DefaultInterval is the poll period when DistConfig leaves it zero.
@@ -220,6 +227,10 @@ func (d *Distributor) PollOnce(ctx context.Context) (bool, error) {
 	d.st.LastActivated = d.cfg.Now()
 	d.st.Activations++
 	d.ok()
+	d.cfg.Events.Record(obs.EventBundleActivated, d.cfg.Origin, map[string]string{
+		"revision":  strconv.FormatInt(man.Revision, 10),
+		"estimator": man.Estimator,
+	})
 	return true, nil
 }
 
@@ -286,6 +297,10 @@ func (d *Distributor) Rollback(ctx context.Context, revision int64) (Manifest, e
 	d.st.LastActivated = d.cfg.Now()
 	d.st.Rollbacks++
 	d.st.LastError = ""
+	d.cfg.Events.Record(obs.EventBundleRollback, d.cfg.Origin, map[string]string{
+		"revision":  strconv.FormatInt(man.Revision, 10),
+		"estimator": man.Estimator,
+	})
 	return man, nil
 }
 

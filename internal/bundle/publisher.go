@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 )
 
 // DefaultRetain is how many revisions a Publisher keeps when the caller
@@ -23,6 +25,7 @@ const DefaultRetain = 5
 type Publisher struct {
 	store  Store
 	retain int
+	events *obs.Log // nil disables; all uses are nil-safe
 
 	mu   sync.Mutex
 	last Manifest // most recently published; zero until the first Publish
@@ -34,6 +37,13 @@ func NewPublisher(store Store, retain int) *Publisher {
 		retain = DefaultRetain
 	}
 	return &Publisher{store: store, retain: retain}
+}
+
+// WithEvents attaches a control-plane event log: every publish and
+// rollback records one event. Returns p for chaining.
+func (p *Publisher) WithEvents(l *obs.Log) *Publisher {
+	p.events = l
+	return p
 }
 
 // Retain reports the configured history depth.
@@ -80,6 +90,10 @@ func (p *Publisher) Publish(ctx context.Context, est costmodel.Estimator, meta M
 	}
 	p.last = man
 	p.prune(ctx)
+	p.events.Record(obs.EventBundlePublished, "publisher", map[string]string{
+		"revision":  strconv.FormatInt(man.Revision, 10),
+		"estimator": man.Estimator,
+	})
 	return man, nil
 }
 
@@ -137,6 +151,12 @@ func (p *Publisher) Rollback(ctx context.Context, revision int64) (Manifest, err
 	}
 	p.last = man
 	p.prune(ctx)
+	p.events.Record(obs.EventBundleRollback, "publisher", map[string]string{
+		"revision":    strconv.FormatInt(man.Revision, 10),
+		"rollback_of": strconv.FormatInt(man.RollbackOf, 10),
+		"from":        strconv.FormatInt(man.RolledBackFrom, 10),
+		"estimator":   man.Estimator,
+	})
 	return man, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/whatif"
 )
@@ -40,6 +41,13 @@ type Config struct {
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe (default 2s).
 	HealthTimeout time.Duration
+	// Tracer, when non-nil, records sampled routed requests with one
+	// span per failover attempt (see internal/obs). Nil disables.
+	Tracer *obs.Tracer
+	// Events, when non-nil, receives replica health transitions and
+	// failover rescues — the router's control-plane decision log. Nil
+	// disables.
+	Events *obs.Log
 }
 
 // DefaultFanoutLimit bounds cross-replica fan-out concurrency.
@@ -83,6 +91,9 @@ type Router struct {
 	replicas map[string]*replica
 	closed   bool
 
+	tracer *obs.Tracer // nil when tracing is off; all uses are nil-safe
+	events *obs.Log    // nil when the event log is off; all uses are nil-safe
+
 	requests  metrics.Counter
 	failovers metrics.Counter
 	// Per-replica counters, labelled by replica name: served counts
@@ -107,6 +118,8 @@ func NewRouter(cfg Config) *Router {
 		cfg:      cfg,
 		ring:     NewRing(cfg.VirtualNodes),
 		replicas: map[string]*replica{},
+		tracer:   cfg.Tracer,
+		events:   cfg.Events,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -174,6 +187,20 @@ func isDownClass(err error) bool {
 	return errors.Is(err, ErrBackendDown)
 }
 
+// markHealth updates a replica's health mark and, on an actual
+// transition (the CompareAndSwap filters repeated marks in the same
+// state), records a replica_up/replica_down event.
+func (r *Router) markHealth(rep *replica, up bool) {
+	if !rep.healthy.CompareAndSwap(!up, up) {
+		return
+	}
+	typ := obs.EventReplicaDown
+	if up {
+		typ = obs.EventReplicaUp
+	}
+	r.events.Record(typ, "router", map[string]string{"replica": rep.b.Name()})
+}
+
 // attempt runs call against db's candidate replicas in failover order:
 // healthy candidates first (ring order), then — only if all of those
 // failed — the unhealthy ones as a last resort, because a stale
@@ -183,6 +210,13 @@ func isDownClass(err error) bool {
 // may hold the database) but is remembered; anything else is the
 // request's own failure and returns immediately.
 func (r *Router) attempt(ctx context.Context, db string, call func(ctx context.Context, b Backend) error) error {
+	tr, begin := r.tracer.Begin()
+	err := r.attemptTraced(ctx, db, call, tr)
+	r.tracer.Finish(tr, "route", db, "", "", begin, err)
+	return err
+}
+
+func (r *Router) attemptTraced(ctx context.Context, db string, call func(ctx context.Context, b Backend) error, tr *obs.Trace) error {
 	r.mu.RLock()
 	if r.closed {
 		r.mu.RUnlock()
@@ -217,6 +251,7 @@ func (r *Router) attempt(ctx context.Context, db string, call func(ctx context.C
 		if r.cfg.CallTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, r.cfg.CallTimeout)
 		}
+		hopStart := time.Now()
 		err := call(actx, rep.b)
 		cancel()
 		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
@@ -226,7 +261,8 @@ func (r *Router) attempt(ctx context.Context, db string, call func(ctx context.C
 		}
 		switch {
 		case err == nil:
-			rep.healthy.Store(true)
+			tr.Span("attempt:"+rep.b.Name(), hopStart)
+			r.markHealth(rep, true)
 			r.served.Inc(rep.b.Name())
 			// A failover is any request its ring owner did not serve —
 			// whether an attempt failed in-request or the health marks
@@ -234,20 +270,26 @@ func (r *Router) attempt(ctx context.Context, db string, call func(ctx context.C
 			if failed > 0 || rep.b.Name() != owner {
 				r.failovers.Inc()
 				r.rescued.Inc(rep.b.Name())
+				r.events.Record(obs.EventFailoverRescue, "router", map[string]string{
+					"replica": rep.b.Name(), "owner": owner, "db": db,
+				})
 			}
 			return nil
 		case isDownClass(err):
-			rep.healthy.Store(false)
+			tr.Span("attempt:"+rep.b.Name()+":down", hopStart)
+			r.markHealth(rep, false)
 			r.failed.Inc(rep.b.Name())
 			lastDown = err
 			failed++
 		case errors.Is(err, serving.ErrNotFound):
+			tr.Span("attempt:"+rep.b.Name()+":notfound", hopStart)
 			notFound = err
 			if rep.b.Name() == owner {
 				ownerNotFound = true
 			}
 			failed++
 		default:
+			tr.Span("attempt:"+rep.b.Name()+":error", hopStart)
 			return err
 		}
 	}
@@ -358,10 +400,10 @@ func (r *Router) fanout(ctx context.Context, fn func(ctx context.Context, b Back
 				e = fmt.Errorf("%w: %s: %v", ErrBackendDown, rep.b.Name(), e)
 			}
 			if isDownClass(e) {
-				rep.healthy.Store(false)
+				r.markHealth(rep, false)
 				r.failed.Inc(rep.b.Name())
 			} else if e == nil {
-				rep.healthy.Store(true)
+				r.markHealth(rep, true)
 			}
 			errs[i] = e
 		}(i, rep)
@@ -478,6 +520,9 @@ type ReplicaStats struct {
 
 // ClusterStats is the aggregated /v1/stats body in cluster mode.
 type ClusterStats struct {
+	// CollectedAt is the wall-clock instant this aggregate snapshot was
+	// assembled (each replica's serving snapshot carries its own).
+	CollectedAt time.Time `json:"collected_at"`
 	// Requests counts routed requests; Failovers counts the ones that
 	// needed at least one failover hop.
 	Requests  int64          `json:"requests"`
@@ -505,8 +550,9 @@ func (r *Router) Stats(ctx context.Context) (ClusterStats, error) {
 		return ClusterStats{}, err
 	}
 	out := ClusterStats{
-		Requests:  r.requests.Value(),
-		Failovers: r.failovers.Value(),
+		CollectedAt: time.Now(),
+		Requests:    r.requests.Value(),
+		Failovers:   r.failovers.Value(),
 	}
 	r.mu.RLock()
 	healthy := map[string]bool{}

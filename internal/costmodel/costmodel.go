@@ -154,6 +154,17 @@ func Fused(est Estimator) bool {
 	return ok && f.FusesBatches()
 }
 
+// EncodeWarmer is the optional capability of estimators that can
+// pre-populate a PlanInput's encoded-graph memo ahead of inference.
+// The serving pipeline uses it when a request is trace-sampled: warming
+// the memo under an explicit "encode" span attributes graph encoding
+// separately from the forward pass without changing what the later
+// prediction computes — the memo guarantees the graph is built exactly
+// once either way.
+type EncodeWarmer interface {
+	WarmEncode(in PlanInput) error
+}
+
 // Cloner is the optional capability of estimators that can produce a
 // deep, independently trainable copy of themselves. The online
 // adaptation subsystem depends on it: Fit and FineTune must not run

@@ -74,6 +74,14 @@ func (z *ZeroShot) encode(in PlanInput) (*encoding.Graph, error) {
 	return g, nil
 }
 
+// WarmEncode implements EncodeWarmer: encode the input's plan into its
+// memo (a no-op when the shape was already encoded for this adapter's
+// encoder).
+func (z *ZeroShot) WarmEncode(in PlanInput) error {
+	_, err := z.encode(in)
+	return err
+}
+
 func (z *ZeroShot) samples(samples []Sample) ([]zeroshot.Sample, error) {
 	out := make([]zeroshot.Sample, len(samples))
 	for i, s := range samples {

@@ -99,6 +99,7 @@ type LatencySummary struct {
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
 }
 
@@ -118,6 +119,7 @@ func (l *LatencyRecorder) Snapshot() LatencySummary {
 		MeanMs: sum / float64(count) * toMs,
 		P50Ms:  ws.P50 * toMs,
 		P95Ms:  ws.P95 * toMs,
+		P99Ms:  ws.P99 * toMs,
 		MaxMs:  max * toMs,
 	}
 }

@@ -65,6 +65,7 @@ type WindowSummary struct {
 	Size  int     `json:"size"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 	Max   float64 `json:"max"`
 }
 
@@ -82,5 +83,6 @@ func (w *Window) Snapshot() WindowSummary {
 	copy(recent, w.buf[:w.filled])
 	s.P50 = Median(recent)
 	s.P95 = Percentile(recent, 0.95)
+	s.P99 = Percentile(recent, 0.99)
 	return s
 }

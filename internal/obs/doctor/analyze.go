@@ -1,0 +1,726 @@
+package doctor
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Status is one check's verdict. Worst-of aggregation makes a bundle's
+// overall verdict the worst finding in it.
+type Status string
+
+const (
+	Pass Status = "pass"
+	Warn Status = "warn"
+	Fail Status = "fail"
+	// Skip marks a check whose subsystem is disabled or absent — not a
+	// problem, just not applicable.
+	Skip Status = "skip"
+)
+
+// severity orders statuses for worst-of aggregation.
+func severity(s Status) int {
+	switch s {
+	case Fail:
+		return 3
+	case Warn:
+		return 2
+	case Pass:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Finding is one check's result against one target (or the whole
+// bundle, when Target is empty).
+type Finding struct {
+	Check  string `json:"check"`
+	Status Status `json:"status"`
+	Target string `json:"target,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// Limits are the analyzer thresholds. Zero values select defaults via
+// DefaultLimits, so callers tune only what they care about.
+type Limits struct {
+	// QErrorWarn / QErrorFail bound the median q-error of an adaptation
+	// drift window before it is flagged.
+	QErrorWarn float64
+	QErrorFail float64
+	// QErrorMinSamples is the window occupancy below which drift is not
+	// judged (cold windows have meaningless medians).
+	QErrorMinSamples int
+	// CacheMinTraffic is the lookups floor below which hit rates are not
+	// judged; CacheHitFloor is the plan/what-if cache hit rate below
+	// which a warm database warns.
+	CacheMinTraffic int64
+	CacheHitFloor   float64
+	// P99WarnMs / P99FailMs bound the predict p99 latency.
+	P99WarnMs float64
+	P99FailMs float64
+	// BundleLagWarn / BundleLagFail bound how many revisions a replica
+	// may trail the store head.
+	BundleLagWarn int64
+	BundleLagFail int64
+	// ClockSkewWarn bounds the spread of collected_at stamps across the
+	// fleet.
+	ClockSkewWarn time.Duration
+}
+
+// DefaultLimits returns the stock thresholds.
+func DefaultLimits() Limits {
+	return Limits{
+		QErrorWarn:       1.5,
+		QErrorFail:       3.0,
+		QErrorMinSamples: 10,
+		CacheMinTraffic:  50,
+		CacheHitFloor:    0.2,
+		P99WarnMs:        250,
+		P99FailMs:        1000,
+		BundleLagWarn:    1,
+		BundleLagFail:    2,
+		ClockSkewWarn:    30 * time.Second,
+	}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.QErrorWarn <= 0 {
+		l.QErrorWarn = d.QErrorWarn
+	}
+	if l.QErrorFail <= 0 {
+		l.QErrorFail = d.QErrorFail
+	}
+	if l.QErrorMinSamples <= 0 {
+		l.QErrorMinSamples = d.QErrorMinSamples
+	}
+	if l.CacheMinTraffic <= 0 {
+		l.CacheMinTraffic = d.CacheMinTraffic
+	}
+	if l.CacheHitFloor <= 0 {
+		l.CacheHitFloor = d.CacheHitFloor
+	}
+	if l.P99WarnMs <= 0 {
+		l.P99WarnMs = d.P99WarnMs
+	}
+	if l.P99FailMs <= 0 {
+		l.P99FailMs = d.P99FailMs
+	}
+	if l.BundleLagWarn <= 0 {
+		l.BundleLagWarn = d.BundleLagWarn
+	}
+	if l.BundleLagFail <= 0 {
+		l.BundleLagFail = d.BundleLagFail
+	}
+	if l.ClockSkewWarn <= 0 {
+		l.ClockSkewWarn = d.ClockSkewWarn
+	}
+	return l
+}
+
+// ---- tolerant document views -------------------------------------------
+//
+// The views mirror only the fields the analyzers read, so additive
+// server-side changes never break offline analysis of old bundles.
+
+type latencyView struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+type windowView struct {
+	Count int64   `json:"count"`
+	Size  int     `json:"size"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+type cacheView struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func (c cacheView) lookups() int64 { return c.Hits + c.Misses }
+func (c cacheView) rate() float64 {
+	if t := c.lookups(); t > 0 {
+		return float64(c.Hits) / float64(t)
+	}
+	return 0
+}
+
+type schedulerView struct {
+	Batches       int64      `json:"batches"`
+	Items         int64      `json:"items"`
+	MeanBatchSize float64    `json:"mean_batch_size"`
+	MaxBatchSize  int64      `json:"max_batch_size"`
+	BatchSizes    windowView `json:"batch_sizes"`
+}
+
+type databaseView struct {
+	Database    string     `json:"db"`
+	PlanCache   cacheView  `json:"plan_cache"`
+	WhatIfCache *cacheView `json:"whatif_cache"`
+}
+
+// servingView is one session's /v1/stats core, shared by the
+// single-session body and each cluster replica's nested serving field.
+type servingView struct {
+	CollectedAt time.Time      `json:"collected_at"`
+	UptimeSec   float64        `json:"uptime_sec"`
+	Requests    int64          `json:"requests"`
+	Errors      int64          `json:"errors"`
+	Predict     latencyView    `json:"predict"`
+	Scheduler   schedulerView  `json:"scheduler"`
+	Databases   []databaseView `json:"databases"`
+}
+
+type replicaStatsView struct {
+	Name    string       `json:"name"`
+	Healthy bool         `json:"healthy"`
+	Error   string       `json:"error,omitempty"`
+	Serving *servingView `json:"serving"`
+}
+
+// statsDoc covers both /v1/stats bodies: the single-session form
+// (embedded servingView fields at top level) and the cluster form
+// (replicas array).
+type statsDoc struct {
+	servingView
+	Replicas []replicaStatsView          `json:"replicas"`
+	Bundles  map[string]bundleStatusView `json:"bundles"`
+}
+
+type clusterDoc struct {
+	Replicas []string            `json:"replicas"`
+	Healthy  map[string]bool     `json:"healthy"`
+	Owners   map[string]string   `json:"owners"`
+	Routes   map[string][]string `json:"routes"`
+}
+
+type adaptWindowView struct {
+	Database string     `json:"db"`
+	QError   windowView `json:"qerror"`
+}
+
+type adaptStatusView struct {
+	Model   string            `json:"model"`
+	Windows []adaptWindowView `json:"windows"`
+}
+
+// adaptDoc covers both /v1/adapt/status bodies: the single-session form
+// (one status) and the cluster form ({"replicas": {name: status}}).
+type adaptDoc struct {
+	adaptStatusView
+	Replicas map[string]adaptStatusView `json:"replicas"`
+}
+
+type bundleStatusView struct {
+	Revision  int64  `json:"revision"`
+	LastError string `json:"last_error"`
+}
+
+type manifestView struct {
+	Revision int64 `json:"revision"`
+}
+
+type bundlesDoc struct {
+	Estimator string                      `json:"estimator"`
+	Revisions []manifestView              `json:"revisions"`
+	Replicas  map[string]bundleStatusView `json:"replicas"`
+}
+
+type eventView struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"`
+}
+
+type eventsDoc struct {
+	Head   int64       `json:"head"`
+	Events []eventView `json:"events"`
+}
+
+// node is one serving session's normalized view: the single session of
+// a lone serve process, or one replica of a cluster.
+type node struct {
+	Name    string
+	Serving *servingView
+}
+
+// parseDoc unmarshals one captured document into v; false when the
+// document is absent, failed, or malformed.
+func parseDoc(c *Capture, name string, v any) bool {
+	d := c.Doc(name)
+	if !d.OK() {
+		return false
+	}
+	return json.Unmarshal(d.Body, v) == nil
+}
+
+// nodes flattens a capture's stats document into per-session views.
+func nodes(c *Capture) []node {
+	var sd statsDoc
+	if !parseDoc(c, "stats", &sd) {
+		return nil
+	}
+	if len(sd.Replicas) == 0 {
+		sv := sd.servingView
+		return []node{{Name: c.Target.Name, Serving: &sv}}
+	}
+	out := make([]node, 0, len(sd.Replicas))
+	for _, r := range sd.Replicas {
+		if r.Serving != nil {
+			out = append(out, node{Name: c.Target.Name + "/" + r.Name, Serving: r.Serving})
+		}
+	}
+	return out
+}
+
+// ---- analyzers ----------------------------------------------------------
+
+// AnalyzeAll runs the whole check catalog over a bundle and returns the
+// findings, grouped by check. It never touches the network: the same
+// bundle always yields the same findings.
+func AnalyzeAll(b *Bundle, lim Limits) []Finding {
+	lim = lim.withDefaults()
+	var out []Finding
+	for _, fn := range []func(*Bundle, Limits) []Finding{
+		analyzeCollection,
+		analyzeReplicaHealth,
+		analyzeRingAgreement,
+		analyzeBundleGenerations,
+		analyzeQErrorDrift,
+		analyzeCacheHitRates,
+		analyzeBatchSizes,
+		analyzeEventGaps,
+		analyzeLatencySLO,
+		analyzeClockSkew,
+	} {
+		out = append(out, fn(b, lim)...)
+	}
+	return out
+}
+
+// Verdict is the worst finding's status (Pass for an empty list — but
+// AnalyzeAll always emits at least the collection check).
+func Verdict(findings []Finding) Status {
+	v := Pass
+	for _, f := range findings {
+		if f.Status == Skip {
+			continue
+		}
+		if severity(f.Status) > severity(v) {
+			v = f.Status
+		}
+	}
+	return v
+}
+
+// analyzeCollection fails for any target whose core stats document was
+// not captured — an unreachable target makes every other verdict
+// partial, and that must be loud.
+func analyzeCollection(b *Bundle, _ Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		d := c.Doc("stats")
+		switch {
+		case d.OK():
+			out = append(out, Finding{Check: "collection", Status: Pass, Target: c.Target.Name,
+				Detail: "stats captured"})
+		case d == nil:
+			out = append(out, Finding{Check: "collection", Status: Fail, Target: c.Target.Name,
+				Detail: "stats never collected"})
+		default:
+			out = append(out, Finding{Check: "collection", Status: Fail, Target: c.Target.Name,
+				Detail: fmt.Sprintf("stats unavailable (HTTP %d): %s", d.Code, d.Err)})
+		}
+	}
+	return out
+}
+
+// analyzeReplicaHealth reads the cluster view's health map (and the
+// stats replicas as fallback): every replica must be up.
+func analyzeReplicaHealth(b *Bundle, _ Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		var cd clusterDoc
+		if parseDoc(c, "cluster", &cd) {
+			var down []string
+			for _, name := range cd.Replicas {
+				if !cd.Healthy[name] {
+					down = append(down, name)
+				}
+			}
+			sort.Strings(down)
+			if len(down) > 0 {
+				out = append(out, Finding{Check: "replica-health", Status: Fail, Target: c.Target.Name,
+					Detail: fmt.Sprintf("%d/%d replicas down: %s", len(down), len(cd.Replicas), strings.Join(down, ", "))})
+			} else {
+				out = append(out, Finding{Check: "replica-health", Status: Pass, Target: c.Target.Name,
+					Detail: fmt.Sprintf("%d/%d replicas healthy", len(cd.Replicas), len(cd.Replicas))})
+			}
+			continue
+		}
+		var sd statsDoc
+		if parseDoc(c, "stats", &sd) && len(sd.Replicas) == 0 {
+			out = append(out, Finding{Check: "replica-health", Status: Pass, Target: c.Target.Name,
+				Detail: "single session, no ring"})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "replica-health", Status: Skip, Detail: "no cluster view captured"})
+	}
+	return out
+}
+
+// analyzeRingAgreement checks the cluster view's internal consistency:
+// every database's owner must head its failover route, and routes may
+// name only registered replicas.
+func analyzeRingAgreement(b *Bundle, _ Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		var cd clusterDoc
+		if !parseDoc(c, "cluster", &cd) {
+			continue
+		}
+		known := map[string]bool{}
+		for _, r := range cd.Replicas {
+			known[r] = true
+		}
+		var problems []string
+		dbs := make([]string, 0, len(cd.Owners))
+		for db := range cd.Owners {
+			dbs = append(dbs, db)
+		}
+		sort.Strings(dbs)
+		for _, db := range dbs {
+			route := cd.Routes[db]
+			switch {
+			case len(route) == 0:
+				problems = append(problems, fmt.Sprintf("%s has no route", db))
+			case route[0] != cd.Owners[db]:
+				problems = append(problems, fmt.Sprintf("%s owned by %s but routed first to %s", db, cd.Owners[db], route[0]))
+			}
+			for _, r := range route {
+				if !known[r] {
+					problems = append(problems, fmt.Sprintf("%s routes through unregistered replica %s", db, r))
+				}
+			}
+		}
+		if len(problems) > 0 {
+			out = append(out, Finding{Check: "ring-agreement", Status: Fail, Target: c.Target.Name,
+				Detail: strings.Join(problems, "; ")})
+		} else {
+			out = append(out, Finding{Check: "ring-agreement", Status: Pass, Target: c.Target.Name,
+				Detail: fmt.Sprintf("owners head their routes for %d databases", len(cd.Owners))})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "ring-agreement", Status: Skip, Detail: "no cluster view captured"})
+	}
+	return out
+}
+
+// analyzeBundleGenerations checks that no replica trails the bundle
+// store head by more than the allowed revision lag.
+func analyzeBundleGenerations(b *Bundle, lim Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		var bd bundlesDoc
+		if !parseDoc(c, "bundles", &bd) {
+			continue
+		}
+		var head int64
+		for _, m := range bd.Revisions {
+			if m.Revision > head {
+				head = m.Revision
+			}
+		}
+		if head == 0 {
+			out = append(out, Finding{Check: "bundle-generations", Status: Pass, Target: c.Target.Name,
+				Detail: "store empty, nothing to lag behind"})
+			continue
+		}
+		names := make([]string, 0, len(bd.Replicas))
+		for name := range bd.Replicas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		worst, verdict := int64(0), Pass
+		var lagged []string
+		for _, name := range names {
+			st := bd.Replicas[name]
+			lag := head - st.Revision
+			if lag <= 0 {
+				continue
+			}
+			lagged = append(lagged, fmt.Sprintf("%s at rev %d (head %d)", name, st.Revision, head))
+			if lag > worst {
+				worst = lag
+			}
+		}
+		switch {
+		case worst >= lim.BundleLagFail:
+			verdict = Fail
+		case worst >= lim.BundleLagWarn:
+			verdict = Warn
+		}
+		if verdict == Pass {
+			out = append(out, Finding{Check: "bundle-generations", Status: Pass, Target: c.Target.Name,
+				Detail: fmt.Sprintf("all %d replicas at head revision %d", len(bd.Replicas), head)})
+		} else {
+			out = append(out, Finding{Check: "bundle-generations", Status: verdict, Target: c.Target.Name,
+				Detail: strings.Join(lagged, "; ")})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "bundle-generations", Status: Skip, Detail: "bundle distribution disabled"})
+	}
+	return out
+}
+
+// analyzeQErrorDrift judges each adaptation drift window's median
+// q-error against the accuracy bounds.
+func analyzeQErrorDrift(b *Bundle, lim Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		var ad adaptDoc
+		if !parseDoc(c, "adapt", &ad) {
+			continue
+		}
+		statuses := ad.Replicas
+		if len(statuses) == 0 && ad.Model != "" {
+			statuses = map[string]adaptStatusView{c.Target.Name: ad.adaptStatusView}
+		}
+		names := make([]string, 0, len(statuses))
+		for name := range statuses {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		emitted := false
+		for _, name := range names {
+			for _, w := range statuses[name].Windows {
+				if w.QError.Size < lim.QErrorMinSamples {
+					continue
+				}
+				emitted = true
+				f := Finding{Check: "qerror-drift", Target: c.Target.Name,
+					Detail: fmt.Sprintf("%s/%s median q-error %.2f over %d samples", name, w.Database, w.QError.P50, w.QError.Size)}
+				switch {
+				case w.QError.P50 >= lim.QErrorFail:
+					f.Status = Fail
+				case w.QError.P50 >= lim.QErrorWarn:
+					f.Status = Warn
+				default:
+					f.Status = Pass
+				}
+				out = append(out, f)
+			}
+		}
+		if !emitted {
+			out = append(out, Finding{Check: "qerror-drift", Status: Pass, Target: c.Target.Name,
+				Detail: "no drift window has enough feedback to judge"})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "qerror-drift", Status: Skip, Detail: "online adaptation disabled"})
+	}
+	return out
+}
+
+// analyzeCacheHitRates warns for any database whose plan (or what-if)
+// cache hit rate sits below the floor despite real traffic.
+func analyzeCacheHitRates(b *Bundle, lim Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		for _, n := range nodes(&b.Captures[i]) {
+			for _, db := range n.Serving.Databases {
+				caches := []struct {
+					label string
+					c     cacheView
+				}{{"plan cache", db.PlanCache}}
+				if db.WhatIfCache != nil {
+					caches = append(caches, struct {
+						label string
+						c     cacheView
+					}{"what-if cache", *db.WhatIfCache})
+				}
+				for _, cc := range caches {
+					f := Finding{Check: "cache-hit-rate", Target: n.Name}
+					switch {
+					case cc.c.lookups() < lim.CacheMinTraffic:
+						f.Status = Pass
+						f.Detail = fmt.Sprintf("%s/%s: %d lookups, too few to judge", db.Database, cc.label, cc.c.lookups())
+					case cc.c.rate() < lim.CacheHitFloor:
+						f.Status = Warn
+						f.Detail = fmt.Sprintf("%s/%s hit rate %.0f%% below %.0f%% floor over %d lookups",
+							db.Database, cc.label, 100*cc.c.rate(), 100*lim.CacheHitFloor, cc.c.lookups())
+					default:
+						f.Status = Pass
+						f.Detail = fmt.Sprintf("%s/%s hit rate %.0f%% over %d lookups",
+							db.Database, cc.label, 100*cc.c.rate(), cc.c.lookups())
+					}
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "cache-hit-rate", Status: Skip, Detail: "no serving stats captured"})
+	}
+	return out
+}
+
+// analyzeBatchSizes sanity-checks the micro-batch scheduler counters:
+// items and batches must cohere, and the size distribution must stay
+// within the observed maximum.
+func analyzeBatchSizes(b *Bundle, _ Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		for _, n := range nodes(&b.Captures[i]) {
+			s := n.Serving.Scheduler
+			f := Finding{Check: "batch-sizes", Target: n.Name}
+			switch {
+			case s.Batches == 0 && s.Items == 0:
+				f.Status = Pass
+				f.Detail = "no batched traffic yet"
+			case s.Batches == 0 || s.Items < s.Batches:
+				f.Status = Fail
+				f.Detail = fmt.Sprintf("impossible counters: %d items across %d batches", s.Items, s.Batches)
+			case s.MeanBatchSize < 1 || float64(s.MaxBatchSize) < s.MeanBatchSize:
+				f.Status = Fail
+				f.Detail = fmt.Sprintf("mean batch size %.2f outside [1, max %d]", s.MeanBatchSize, s.MaxBatchSize)
+			case s.BatchSizes.Max > float64(s.MaxBatchSize):
+				f.Status = Fail
+				f.Detail = fmt.Sprintf("size window max %.0f exceeds lifetime max %d", s.BatchSizes.Max, s.MaxBatchSize)
+			default:
+				f.Status = Pass
+				f.Detail = fmt.Sprintf("mean %.2f, max %d over %d batches", s.MeanBatchSize, s.MaxBatchSize, s.Batches)
+			}
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "batch-sizes", Status: Skip, Detail: "no serving stats captured"})
+	}
+	return out
+}
+
+// analyzeEventGaps checks event-ring continuity: within one snapshot
+// the sequence numbers must be consecutive — a hole means events were
+// dropped, not merely evicted (eviction trims the oldest edge).
+func analyzeEventGaps(b *Bundle, _ Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		c := &b.Captures[i]
+		var ed eventsDoc
+		if !parseDoc(c, "events", &ed) {
+			continue
+		}
+		f := Finding{Check: "event-gaps", Status: Pass, Target: c.Target.Name,
+			Detail: fmt.Sprintf("%d events contiguous through seq %d", len(ed.Events), ed.Head)}
+		for j := 1; j < len(ed.Events); j++ {
+			if ed.Events[j].Seq != ed.Events[j-1].Seq+1 {
+				f.Status = Fail
+				f.Detail = fmt.Sprintf("sequence gap: %d then %d", ed.Events[j-1].Seq, ed.Events[j].Seq)
+				break
+			}
+		}
+		if f.Status == Pass && len(ed.Events) > 0 && ed.Events[len(ed.Events)-1].Seq > ed.Head {
+			f.Status = Fail
+			f.Detail = fmt.Sprintf("event seq %d beyond advertised head %d", ed.Events[len(ed.Events)-1].Seq, ed.Head)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "event-gaps", Status: Skip, Detail: "no event log captured"})
+	}
+	return out
+}
+
+// analyzeLatencySLO judges each session's predict p99 against the
+// latency objective.
+func analyzeLatencySLO(b *Bundle, lim Limits) []Finding {
+	var out []Finding
+	for i := range b.Captures {
+		for _, n := range nodes(&b.Captures[i]) {
+			p := n.Serving.Predict
+			f := Finding{Check: "latency-slo", Target: n.Name}
+			switch {
+			case p.Count == 0:
+				f.Status = Pass
+				f.Detail = "no predictions yet"
+			case p.P99Ms >= lim.P99FailMs:
+				f.Status = Fail
+				f.Detail = fmt.Sprintf("predict p99 %.1fms breaches %.0fms", p.P99Ms, lim.P99FailMs)
+			case p.P99Ms >= lim.P99WarnMs:
+				f.Status = Warn
+				f.Detail = fmt.Sprintf("predict p99 %.1fms above %.0fms objective", p.P99Ms, lim.P99WarnMs)
+			default:
+				f.Status = Pass
+				f.Detail = fmt.Sprintf("predict p99 %.1fms (p50 %.1fms) over %d requests", p.P99Ms, p.P50Ms, p.Count)
+			}
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Finding{Check: "latency-slo", Status: Skip, Detail: "no serving stats captured"})
+	}
+	return out
+}
+
+// analyzeClockSkew warns when the spread of collected_at stamps across
+// the fleet exceeds the bound — stats that disagree about "now" cannot
+// be compared as one moment.
+func analyzeClockSkew(b *Bundle, lim Limits) []Finding {
+	var stamps []time.Time
+	for i := range b.Captures {
+		for _, n := range nodes(&b.Captures[i]) {
+			if !n.Serving.CollectedAt.IsZero() {
+				stamps = append(stamps, n.Serving.CollectedAt)
+			}
+		}
+	}
+	if len(stamps) < 2 {
+		return []Finding{{Check: "clock-skew", Status: Skip, Detail: "fewer than two timestamped sessions"}}
+	}
+	lo, hi := stamps[0], stamps[0]
+	for _, t := range stamps[1:] {
+		if t.Before(lo) {
+			lo = t
+		}
+		if t.After(hi) {
+			hi = t
+		}
+	}
+	spread := hi.Sub(lo)
+	if spread > lim.ClockSkewWarn {
+		return []Finding{{Check: "clock-skew", Status: Warn,
+			Detail: fmt.Sprintf("collected_at stamps spread %v across %d sessions", spread.Round(time.Millisecond), len(stamps))}}
+	}
+	return []Finding{{Check: "clock-skew", Status: Pass,
+		Detail: fmt.Sprintf("stamps within %v across %d sessions", spread.Round(time.Millisecond), len(stamps))}}
+}
+
+// RenderTable formats findings as the `zsdb doctor` verdict table.
+func RenderTable(findings []Finding) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s  %-20s  %-24s  %s\n", "", "CHECK", "TARGET", "DETAIL")
+	for _, f := range findings {
+		mark := map[Status]string{Pass: "ok", Warn: "WARN", Fail: "FAIL", Skip: "-"}[f.Status]
+		fmt.Fprintf(&sb, "%-4s  %-20s  %-24s  %s\n", mark, f.Check, f.Target, f.Detail)
+	}
+	fmt.Fprintf(&sb, "verdict: %s\n", Verdict(findings))
+	return sb.String()
+}

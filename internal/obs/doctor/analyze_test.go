@@ -1,0 +1,265 @@
+package doctor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkCapture builds a capture whose named docs hold the marshaled
+// bodies; endpoints not named are recorded as disabled (404).
+func mkCapture(t *testing.T, name string, docs map[string]any) Capture {
+	t.Helper()
+	c := Capture{Target: Target{Name: name, BaseURL: "http://" + name}, Docs: map[string]*Doc{}}
+	for _, ep := range Endpoints {
+		if v, ok := docs[ep.Name]; ok {
+			body, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Docs[ep.Name] = &Doc{Name: ep.Name, Code: 200, Body: body}
+		} else {
+			c.Docs[ep.Name] = &Doc{Name: ep.Name, Code: 404, Err: "disabled"}
+		}
+	}
+	return c
+}
+
+// healthyStats is a minimal single-session stats body that passes every
+// serving-level check.
+func healthyStats(collected time.Time) map[string]any {
+	return map[string]any{
+		"collected_at": collected,
+		"uptime_sec":   12.5,
+		"requests":     1000,
+		"errors":       0,
+		"predict":      map[string]any{"count": 1000, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0},
+		"scheduler": map[string]any{
+			"batches": 400, "items": 1000, "mean_batch_size": 2.5, "max_batch_size": 8,
+			"batch_sizes": map[string]any{"count": 400, "size": 64, "p50": 2, "p95": 6, "max": 8},
+		},
+		"databases": []map[string]any{{
+			"db":         "imdb",
+			"plan_cache": map[string]any{"hits": 900, "misses": 100},
+		}},
+	}
+}
+
+func findingsFor(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wantStatus(t *testing.T, fs []Finding, check string, want Status) {
+	t.Helper()
+	got := findingsFor(fs, check)
+	if len(got) == 0 {
+		t.Fatalf("no findings for check %q in %+v", check, fs)
+	}
+	worst := Skip
+	for _, f := range got {
+		if severity(f.Status) > severity(worst) {
+			worst = f.Status
+		}
+	}
+	if worst != want {
+		t.Fatalf("check %q worst status = %s, want %s (findings: %+v)", check, worst, want, got)
+	}
+}
+
+func TestAnalyzeHealthySingleNode(t *testing.T) {
+	b := &Bundle{
+		Meta: Meta{Targets: []Target{{Name: "server"}}},
+		Captures: []Capture{mkCapture(t, "server", map[string]any{
+			"stats":  healthyStats(time.Now()),
+			"events": map[string]any{"head": 3, "events": []map[string]any{{"seq": 1}, {"seq": 2}, {"seq": 3}}},
+		})},
+	}
+	fs := AnalyzeAll(b, Limits{})
+	if v := Verdict(fs); v != Pass {
+		t.Fatalf("verdict = %s, want pass\n%s", v, RenderTable(fs))
+	}
+	wantStatus(t, fs, "collection", Pass)
+	wantStatus(t, fs, "latency-slo", Pass)
+	wantStatus(t, fs, "cache-hit-rate", Pass)
+	wantStatus(t, fs, "batch-sizes", Pass)
+	wantStatus(t, fs, "event-gaps", Pass)
+	// Disabled subsystems skip rather than judge.
+	wantStatus(t, fs, "bundle-generations", Skip)
+	wantStatus(t, fs, "qerror-drift", Skip)
+}
+
+func TestAnalyzeUnreachableTargetFails(t *testing.T) {
+	c := Capture{Target: Target{Name: "dead"}, Docs: map[string]*Doc{}}
+	for _, ep := range Endpoints {
+		c.Docs[ep.Name] = &Doc{Name: ep.Name, Err: "dial tcp: connection refused"}
+	}
+	b := &Bundle{Meta: Meta{Targets: []Target{c.Target}}, Captures: []Capture{c}}
+	fs := AnalyzeAll(b, Limits{})
+	wantStatus(t, fs, "collection", Fail)
+	if Verdict(fs) != Fail {
+		t.Fatalf("verdict = %s, want fail", Verdict(fs))
+	}
+}
+
+func TestAnalyzeRingAgreement(t *testing.T) {
+	good := map[string]any{
+		"replicas": []string{"r0", "r1"},
+		"healthy":  map[string]bool{"r0": true, "r1": true},
+		"owners":   map[string]string{"imdb": "r0"},
+		"routes":   map[string][]string{"imdb": {"r0", "r1"}},
+	}
+	b := &Bundle{Captures: []Capture{mkCapture(t, "router", map[string]any{"cluster": good})}}
+	wantStatus(t, AnalyzeAll(b, Limits{}), "ring-agreement", Pass)
+
+	// A route whose head disagrees with the owner is a torn ring view.
+	bad := map[string]any{
+		"replicas": []string{"r0", "r1"},
+		"healthy":  map[string]bool{"r0": true, "r1": true},
+		"owners":   map[string]string{"imdb": "r0"},
+		"routes":   map[string][]string{"imdb": {"r1", "r0"}},
+	}
+	b = &Bundle{Captures: []Capture{mkCapture(t, "router", map[string]any{"cluster": bad})}}
+	fs := AnalyzeAll(b, Limits{})
+	wantStatus(t, fs, "ring-agreement", Fail)
+	if d := findingsFor(fs, "ring-agreement")[0].Detail; !strings.Contains(d, "imdb") {
+		t.Fatalf("detail should name the database: %q", d)
+	}
+}
+
+func TestAnalyzeBundleGenerationLag(t *testing.T) {
+	mk := func(r0, r1 int64) *Bundle {
+		doc := map[string]any{
+			"estimator": "zeroshot",
+			"revisions": []map[string]any{{"revision": 1}, {"revision": 2}, {"revision": 3}},
+			"replicas": map[string]any{
+				"r0": map[string]any{"revision": r0},
+				"r1": map[string]any{"revision": r1},
+			},
+		}
+		return &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{"bundles": doc})}}
+	}
+	wantStatus(t, AnalyzeAll(mk(3, 3), Limits{}), "bundle-generations", Pass)
+	wantStatus(t, AnalyzeAll(mk(3, 2), Limits{}), "bundle-generations", Warn)
+	wantStatus(t, AnalyzeAll(mk(3, 1), Limits{}), "bundle-generations", Fail)
+}
+
+func TestAnalyzeQErrorDrift(t *testing.T) {
+	mk := func(p50 float64, size int) *Bundle {
+		doc := map[string]any{
+			"model": "zeroshot",
+			"windows": []map[string]any{{
+				"db":     "imdb",
+				"qerror": map[string]any{"count": size, "size": size, "p50": p50, "p95": p50 * 2, "max": p50 * 3},
+			}},
+		}
+		return &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{"adapt": doc})}}
+	}
+	wantStatus(t, AnalyzeAll(mk(1.2, 50), Limits{}), "qerror-drift", Pass)
+	wantStatus(t, AnalyzeAll(mk(2.0, 50), Limits{}), "qerror-drift", Warn)
+	wantStatus(t, AnalyzeAll(mk(5.0, 50), Limits{}), "qerror-drift", Fail)
+	// A cold window is not judged at all.
+	wantStatus(t, AnalyzeAll(mk(5.0, 3), Limits{}), "qerror-drift", Pass)
+}
+
+func TestAnalyzeCacheHitRateFloor(t *testing.T) {
+	mk := func(hits, misses int64) *Bundle {
+		st := healthyStats(time.Now())
+		st["databases"] = []map[string]any{{
+			"db":         "imdb",
+			"plan_cache": map[string]any{"hits": hits, "misses": misses},
+		}}
+		return &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{"stats": st})}}
+	}
+	wantStatus(t, AnalyzeAll(mk(90, 10), Limits{}), "cache-hit-rate", Pass)
+	wantStatus(t, AnalyzeAll(mk(5, 95), Limits{}), "cache-hit-rate", Warn)
+	// Too little traffic to judge: a cold cache is not a sick cache.
+	wantStatus(t, AnalyzeAll(mk(0, 10), Limits{}), "cache-hit-rate", Pass)
+}
+
+func TestAnalyzeBatchSizeSanity(t *testing.T) {
+	st := healthyStats(time.Now())
+	st["scheduler"] = map[string]any{
+		"batches": 100, "items": 40, "mean_batch_size": 0.4, "max_batch_size": 8,
+		"batch_sizes": map[string]any{},
+	}
+	b := &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{"stats": st})}}
+	wantStatus(t, AnalyzeAll(b, Limits{}), "batch-sizes", Fail)
+}
+
+func TestAnalyzeEventGap(t *testing.T) {
+	doc := map[string]any{"head": 9, "events": []map[string]any{{"seq": 4}, {"seq": 5}, {"seq": 8}, {"seq": 9}}}
+	b := &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{
+		"stats":  healthyStats(time.Now()),
+		"events": doc,
+	})}}
+	fs := AnalyzeAll(b, Limits{})
+	wantStatus(t, fs, "event-gaps", Fail)
+}
+
+func TestAnalyzeLatencySLO(t *testing.T) {
+	mk := func(p99 float64) *Bundle {
+		st := healthyStats(time.Now())
+		st["predict"] = map[string]any{"count": 1000, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": p99}
+		return &Bundle{Captures: []Capture{mkCapture(t, "server", map[string]any{"stats": st})}}
+	}
+	wantStatus(t, AnalyzeAll(mk(3), Limits{}), "latency-slo", Pass)
+	wantStatus(t, AnalyzeAll(mk(400), Limits{}), "latency-slo", Warn)
+	wantStatus(t, AnalyzeAll(mk(2000), Limits{}), "latency-slo", Fail)
+}
+
+func TestAnalyzeClockSkew(t *testing.T) {
+	now := time.Now()
+	b := &Bundle{Captures: []Capture{
+		mkCapture(t, "a", map[string]any{"stats": healthyStats(now)}),
+		mkCapture(t, "b", map[string]any{"stats": healthyStats(now.Add(2 * time.Minute))}),
+	}}
+	wantStatus(t, AnalyzeAll(b, Limits{}), "clock-skew", Warn)
+
+	b = &Bundle{Captures: []Capture{
+		mkCapture(t, "a", map[string]any{"stats": healthyStats(now)}),
+		mkCapture(t, "b", map[string]any{"stats": healthyStats(now.Add(time.Second))}),
+	}}
+	wantStatus(t, AnalyzeAll(b, Limits{}), "clock-skew", Pass)
+}
+
+// TestArchiveRoundTrip pins the offline-analysis contract: a bundle
+// written and re-read yields the identical findings.
+func TestArchiveRoundTrip(t *testing.T) {
+	b := &Bundle{
+		Meta: Meta{Tool: "zsdb doctor", CollectedAt: time.Now().UTC(), Targets: []Target{{Name: "server", BaseURL: "http://server"}}},
+		Captures: []Capture{mkCapture(t, "server", map[string]any{
+			"stats":  healthyStats(time.Now()),
+			"events": map[string]any{"head": 2, "events": []map[string]any{{"seq": 1}, {"seq": 2}}},
+		})},
+	}
+	var buf bytes.Buffer
+	if err := WriteArchive(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AnalyzeAll(b, Limits{})
+	have := AnalyzeAll(got, Limits{})
+	if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", have) {
+		t.Fatalf("findings diverge after round trip:\nlive:    %+v\noffline: %+v", want, have)
+	}
+	if got.Meta.Tool != "zsdb doctor" || len(got.Captures) != 1 {
+		t.Fatalf("meta lost in round trip: %+v", got.Meta)
+	}
+	// 404-captured docs survive as status without bodies.
+	d := got.Captures[0].Doc("adapt")
+	if d == nil || d.Code != 404 || d.Body != nil {
+		t.Fatalf("disabled doc not preserved: %+v", d)
+	}
+}

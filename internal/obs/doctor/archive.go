@@ -1,0 +1,131 @@
+package doctor
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+)
+
+// archiveMeta is the on-disk meta.json: the manifest plus every
+// document's capture status, so an archive is self-describing even for
+// the documents that have no body member.
+type archiveMeta struct {
+	Meta
+	// Docs records each capture attempt: Docs[target][doc].
+	Docs map[string]map[string]*Doc `json:"docs"`
+}
+
+// WriteArchive streams the bundle as a gzip'd tar: meta.json first,
+// then targets/<target>/<doc>.json for every successfully captured
+// document.
+func WriteArchive(w io.Writer, b *Bundle) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+
+	am := archiveMeta{Meta: b.Meta, Docs: map[string]map[string]*Doc{}}
+	for i := range b.Captures {
+		cap := &b.Captures[i]
+		am.Docs[cap.Target.Name] = cap.Docs
+	}
+	meta, err := json.MarshalIndent(am, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeMember(tw, "meta.json", meta); err != nil {
+		return err
+	}
+	for i := range b.Captures {
+		cap := &b.Captures[i]
+		for _, ep := range Endpoints {
+			d := cap.Docs[ep.Name]
+			if d == nil || d.Body == nil {
+				continue
+			}
+			name := path.Join("targets", cap.Target.Name, ep.Name+".json")
+			if err := writeMember(tw, name, d.Body); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+func writeMember(tw *tar.Writer, name string, body []byte) error {
+	hdr := &tar.Header{Name: name, Mode: 0o644, Size: int64(len(body))}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return err
+	}
+	_, err := tw.Write(body)
+	return err
+}
+
+// ReadArchive reconstructs a bundle from a saved archive. Analysis of
+// the result is byte-identical to analyzing the live collection the
+// archive was written from.
+func ReadArchive(r io.Reader) (*Bundle, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("doctor: open archive: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+
+	var am *archiveMeta
+	bodies := map[string]map[string][]byte{} // target -> doc -> body
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("doctor: read archive: %w", err)
+		}
+		data, err := io.ReadAll(io.LimitReader(tr, maxDocBytes))
+		if err != nil {
+			return nil, fmt.Errorf("doctor: read %s: %w", hdr.Name, err)
+		}
+		switch {
+		case hdr.Name == "meta.json":
+			am = &archiveMeta{}
+			if err := json.Unmarshal(data, am); err != nil {
+				return nil, fmt.Errorf("doctor: parse meta.json: %w", err)
+			}
+		case strings.HasPrefix(hdr.Name, "targets/"):
+			parts := strings.Split(hdr.Name, "/")
+			if len(parts) != 3 || !strings.HasSuffix(parts[2], ".json") {
+				continue // not a document member
+			}
+			target, doc := parts[1], strings.TrimSuffix(parts[2], ".json")
+			if bodies[target] == nil {
+				bodies[target] = map[string][]byte{}
+			}
+			bodies[target][doc] = data
+		}
+	}
+	if am == nil {
+		return nil, fmt.Errorf("doctor: archive has no meta.json")
+	}
+
+	b := &Bundle{Meta: am.Meta}
+	for _, t := range am.Meta.Targets {
+		cap := Capture{Target: t, Docs: map[string]*Doc{}}
+		for name, d := range am.Docs[t.Name] {
+			if d.Name == "" {
+				d.Name = name
+			}
+			if body, ok := bodies[t.Name][name]; ok {
+				d.Body = body
+			}
+			cap.Docs[name] = d
+		}
+		b.Captures = append(b.Captures, cap)
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package doctor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxDocBytes bounds one document read — a support bundle should never
+// balloon because a trace ring or event log grew hostile.
+const maxDocBytes = 16 << 20
+
+// Collect snapshots every endpoint of every target into one bundle.
+// Failures are captured, not returned: a dead replica's documents carry
+// the transport error, a disabled subsystem carries its 404 — both are
+// analyzer input. The only error is having nothing to collect.
+func Collect(ctx context.Context, client *http.Client, targets []Target) (*Bundle, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("doctor: no targets to collect from")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	b := &Bundle{Meta: Meta{
+		Tool:        "zsdb doctor",
+		CollectedAt: time.Now().UTC(),
+		Targets:     targets,
+	}}
+	for _, t := range targets {
+		cap := Capture{Target: t, Docs: make(map[string]*Doc, len(Endpoints))}
+		for _, ep := range Endpoints {
+			cap.Docs[ep.Name] = fetchDoc(ctx, client, t, ep)
+		}
+		b.Captures = append(b.Captures, cap)
+	}
+	return b, nil
+}
+
+// fetchDoc GETs one endpoint and wraps the outcome as a Doc.
+func fetchDoc(ctx context.Context, client *http.Client, t Target, ep Endpoint) *Doc {
+	d := &Doc{Name: ep.Name}
+	url := strings.TrimRight(t.BaseURL, "/") + ep.Path
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		d.Err = err.Error()
+		return d
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		d.Err = err.Error()
+		return d
+	}
+	defer resp.Body.Close()
+	d.Code = resp.StatusCode
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxDocBytes))
+	if err != nil {
+		d.Err = fmt.Sprintf("read body: %v", err)
+		return d
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Keep error bodies short: they are prose for meta.json, not
+		// documents.
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		d.Err = msg
+		return d
+	}
+	d.Body = body
+	return d
+}

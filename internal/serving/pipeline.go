@@ -9,6 +9,7 @@ import (
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/optimizer"
 	"github.com/zeroshot-db/zeroshot/internal/plan"
 	"github.com/zeroshot-db/zeroshot/internal/query"
@@ -24,6 +25,7 @@ const (
 	StageParse     = "parse"
 	StageOptimize  = "optimize"
 	StageFeaturize = "featurize"
+	StageEncode    = "encode"
 	StagePredict   = "predict"
 )
 
@@ -101,6 +103,13 @@ func newDBSession(name string, db *storage.Database, cacheSize int) *dbSession {
 // ctx error is returned bare (not wrapped in ErrBadQuery — the statement
 // was fine, the client gave up).
 func (d *dbSession) prepare(ctx context.Context, sql string) (costmodel.PlanInput, bool, string, error) {
+	return d.prepareTraced(ctx, sql, nil)
+}
+
+// prepareTraced is prepare with an optional sampled trace: each executed
+// stage records a span alongside its latency observation (tr is usually
+// nil — span recording is nil-safe and free).
+func (d *dbSession) prepareTraced(ctx context.Context, sql string, tr *obs.Trace) (costmodel.PlanInput, bool, string, error) {
 	fp := costmodel.Fingerprint(sql)
 	if in, ok := d.cache.Get(fp); ok {
 		return in, true, fp, nil
@@ -113,6 +122,7 @@ func (d *dbSession) prepare(ctx context.Context, sql string) (costmodel.PlanInpu
 		start := time.Now()
 		err := s.fn(d, pq)
 		d.lat[s.name].Observe(time.Since(start))
+		tr.Span(s.name, start)
 		if err != nil {
 			// Both the stage's own error and ErrBadQuery stay in the
 			// chain, so callers can match either.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 )
 
 // scheduler coalesces concurrent single-prediction requests into
@@ -66,6 +67,12 @@ type schedRequest struct {
 	ctx  context.Context
 	in   costmodel.PlanInput
 	done chan schedResult
+	// tr, when the request is sampled, receives the flush's batch
+	// attribution (batch size, coalesce wait measured from enq). The
+	// drain goroutine writes it strictly before sending on done, so the
+	// requester's later reads are ordered by the channel receive.
+	tr  *obs.Trace
+	enq time.Time
 }
 
 type schedResult struct {
@@ -116,12 +123,16 @@ func (s *scheduler) queue(est costmodel.Estimator) (*modelQueue, error) {
 
 // predictOne submits one input and blocks until its micro-batch drains
 // (or ctx is done).
-func (s *scheduler) predictOne(ctx context.Context, est costmodel.Estimator, in costmodel.PlanInput) (float64, error) {
+func (s *scheduler) predictOne(ctx context.Context, est costmodel.Estimator, in costmodel.PlanInput, tr *obs.Trace) (float64, error) {
 	q, err := s.queue(est)
 	if err != nil {
 		return 0, err
 	}
 	r := &schedRequest{ctx: ctx, in: in, done: make(chan schedResult, 1)}
+	if tr != nil {
+		r.tr = tr
+		r.enq = time.Now()
+	}
 	// Hold the read lock across the send: close() takes the write lock
 	// before closing channels, so a send in flight can never hit a closed
 	// channel.
@@ -232,6 +243,11 @@ func (s *scheduler) flush(q *modelQueue, batch []*schedRequest) {
 		cur := s.maxSeen.Load()
 		if n <= cur || s.maxSeen.CompareAndSwap(cur, n) {
 			break
+		}
+	}
+	for _, r := range live {
+		if r.tr != nil {
+			r.tr.SetBatch(len(live), time.Since(r.enq))
 		}
 	}
 	ins := make([]costmodel.PlanInput, len(live))

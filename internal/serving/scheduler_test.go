@@ -30,7 +30,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			v, err := s.predictOne(context.Background(), est, schedIn(float64(c)))
+			v, err := s.predictOne(context.Background(), est, schedIn(float64(c)), nil)
 			if err == nil && v <= 0 {
 				err = errors.New("non-positive prediction")
 			}
@@ -81,7 +81,7 @@ func TestSchedulerMaxBatchCap(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			if _, err := s.predictOne(context.Background(), est, schedIn(float64(c))); err != nil {
+			if _, err := s.predictOne(context.Background(), est, schedIn(float64(c)), nil); err != nil {
 				t.Error(err)
 			}
 		}(c)
@@ -105,7 +105,7 @@ func TestSchedulerContextCancel(t *testing.T) {
 	defer s.close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.predictOne(ctx, est, schedIn(1)); !errors.Is(err, context.Canceled) {
+	if _, err := s.predictOne(ctx, est, schedIn(1), nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
@@ -121,7 +121,7 @@ func TestSchedulerCloseRejectsAndDrains(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = s.predictOne(context.Background(), est, schedIn(float64(i)))
+			_, errs[i] = s.predictOne(context.Background(), est, schedIn(float64(i)), nil)
 		}(i)
 	}
 	time.Sleep(time.Millisecond)
@@ -132,7 +132,7 @@ func TestSchedulerCloseRejectsAndDrains(t *testing.T) {
 			t.Fatalf("request %d: %v", i, err)
 		}
 	}
-	if _, err := s.predictOne(context.Background(), est, schedIn(1)); !errors.Is(err, ErrClosed) {
+	if _, err := s.predictOne(context.Background(), est, schedIn(1), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("predict after close = %v, want ErrClosed", err)
 	}
 	s.close() // idempotent

@@ -40,6 +40,7 @@ import (
 
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 )
 
@@ -108,6 +109,11 @@ type Config struct {
 	// PlanCacheSize bounds each attached database's plan cache (default
 	// costmodel.DefaultPlanCacheSize).
 	PlanCacheSize int
+	// Tracer, when non-nil, records sampled request traces and the
+	// always-on slow-query log for Predict calls (see internal/obs).
+	// Nil disables tracing entirely; the request path then performs no
+	// additional allocations (pinned by TestPredictTracingOffAllocs).
+	Tracer *obs.Tracer
 }
 
 // DefaultMaxBatch and DefaultMaxWait are the scheduler defaults: the
@@ -138,6 +144,7 @@ func (c Config) withDefaults() Config {
 type Session struct {
 	cfg     Config
 	sched   *scheduler
+	tracer  *obs.Tracer // nil when tracing is off; all uses are nil-safe
 	started time.Time
 
 	mu     sync.RWMutex
@@ -171,6 +178,7 @@ func NewSession(cfg Config) *Session {
 	s := &Session{
 		cfg:        cfg,
 		sched:      newScheduler(cfg.MaxBatch, cfg.MaxWait),
+		tracer:     cfg.Tracer,
 		started:    time.Now(),
 		dbs:        map[string]*dbSession{},
 		models:     map[string]*modelSlot{},
@@ -424,8 +432,26 @@ type Prediction struct {
 // Predict runs one SQL statement through the full pipeline against the
 // named database and model (either may be empty when unambiguous). The
 // predict stage coalesces with other concurrent singles via the
-// scheduler.
+// scheduler. When the session's tracer samples the request, every
+// pipeline stage records a span; slow requests land in the tracer's
+// slow-query ring either way.
 func (s *Session) Predict(ctx context.Context, dbName, model, sql string) (Prediction, error) {
+	tr, begin := s.tracer.Begin()
+	p, err := s.predictTraced(ctx, dbName, model, sql, tr)
+	// Prefer the resolved names (an empty request name defaults when
+	// unambiguous); fall back to the request's own on early failure.
+	db, mdl := p.Database, p.Model
+	if db == "" {
+		db = dbName
+	}
+	if mdl == "" {
+		mdl = model
+	}
+	s.tracer.Finish(tr, "predict", db, mdl, sql, begin, err)
+	return p, err
+}
+
+func (s *Session) predictTraced(ctx context.Context, dbName, model, sql string, tr *obs.Trace) (Prediction, error) {
 	s.requests.Inc()
 	d, err := s.database(dbName)
 	if err != nil {
@@ -437,16 +463,34 @@ func (s *Session) Predict(ctx context.Context, dbName, model, sql string) (Predi
 		s.errs.Inc()
 		return Prediction{}, err
 	}
-	in, cached, fp, err := d.prepare(ctx, sql)
+	in, cached, fp, err := d.prepareTraced(ctx, sql, tr)
 	if err != nil {
 		if !canceled(err) {
 			s.errs.Inc()
 		}
 		return Prediction{}, err
 	}
+	if cached {
+		tr.SetPlanCached()
+	}
+	if tr != nil {
+		// Warm the plan's encoded-graph memo under an explicit span so
+		// sampled traces attribute encoding separately from inference.
+		// Only estimators that expose their encoder participate; the
+		// memo makes the predict stage below reuse the graph, so this
+		// moves work into the span rather than adding any.
+		if ew, ok := est.(costmodel.EncodeWarmer); ok {
+			encStart := time.Now()
+			// An encode failure surfaces identically from the predict
+			// stage below; don't fail the request twice.
+			_ = ew.WarmEncode(in)
+			tr.Span(StageEncode, encStart)
+		}
+	}
 	start := time.Now()
-	pred, err := s.sched.predictOne(ctx, est, in)
+	pred, err := s.sched.predictOne(ctx, est, in, tr)
 	s.predict.Observe(time.Since(start))
+	tr.Span(StagePredict, start)
 	if err != nil {
 		if !canceled(err) {
 			s.errs.Inc()
@@ -568,9 +612,13 @@ func (s *Session) PredictPlanned(ctx context.Context, est costmodel.Estimator, i
 
 // Stats is the session-wide observability snapshot behind /v1/stats.
 type Stats struct {
-	// UptimeSec is the seconds elapsed since the session was created —
-	// process uptime for the one-session-per-process `zsdb serve`.
-	UptimeSec float64 `json:"uptime_sec"`
+	// CollectedAt is the wall-clock instant this snapshot was taken, so
+	// cross-replica support bundles can be ordered and skew-checked;
+	// UptimeSec is the monotonic seconds elapsed since the session was
+	// created — process uptime for the one-session-per-process
+	// `zsdb serve`.
+	CollectedAt time.Time `json:"collected_at"`
+	UptimeSec   float64   `json:"uptime_sec"`
 	// Requests and Errors count Predict/PredictBatch/PredictPlanned
 	// calls and their failures (including per-item pipeline failures).
 	Requests int64 `json:"requests"`
@@ -635,9 +683,10 @@ type DatabaseStats struct {
 func (s *Session) Stats() Stats {
 	s.mu.RLock()
 	st := Stats{
-		UptimeSec: time.Since(s.started).Seconds(),
-		Requests:  s.requests.Value(),
-		Errors:    s.errs.Value(),
+		CollectedAt: time.Now(),
+		UptimeSec:   time.Since(s.started).Seconds(),
+		Requests:    s.requests.Value(),
+		Errors:      s.errs.Value(),
 	}
 	st.Models = make([]ModelStats, 0, len(s.models))
 	for _, name := range s.modelNames() {

@@ -85,7 +85,7 @@ var (
 
 // fixtures builds two small schemas (IMDB-like and SSB-like) with a
 // handful of executable SQL statements each, shared across tests.
-func fixtures(t *testing.T) (testDB, testDB) {
+func fixtures(t testing.TB) (testDB, testDB) {
 	t.Helper()
 	fixOnce.Do(func() {
 		build := func(gen func(float64) (*storage.Database, error)) (testDB, error) {
@@ -421,7 +421,7 @@ func TestSessionHotSwap(t *testing.T) {
 	// A stale estimator reference still lands on the name's queue and
 	// drains through the current generation.
 	stale := &fakeEstimator{name: "fake", bias: 0}
-	v, err := sess.sched.predictOne(context.Background(), stale, costmodel.PlanInput{})
+	v, err := sess.sched.predictOne(context.Background(), stale, costmodel.PlanInput{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
