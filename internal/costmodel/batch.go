@@ -18,7 +18,7 @@ import (
 // the cancellation raises a shared stop flag so no later item starts
 // predicting, and a final sweep marks the items no worker reached.
 func predictBatch(ctx context.Context, ins []PlanInput, predict func(PlanInput) (float64, error)) ([]float64, error) {
-	out, errs := runBatch(ctx, len(ins), runtime.GOMAXPROCS(0), func(i int) (float64, error) {
+	out, errs := runBatch(ctx, len(ins), runtime.GOMAXPROCS(0), func(_, i int) (float64, error) {
 		return predict(ins[i])
 	})
 	for i, err := range errs {
@@ -29,11 +29,15 @@ func predictBatch(ctx context.Context, ins []PlanInput, predict func(PlanInput) 
 	return out, nil
 }
 
-// runBatch is predictBatch's worker-pool core, split out with an
-// explicit worker count so tests can pin the concurrency and assert the
-// cancellation contract deterministically. It returns per-item results
-// and errors (nil error means item i finished).
-func runBatch(ctx context.Context, n, workers int, predict func(int) (float64, error)) ([]float64, []error) {
+// runBatch is the worker-pool core shared by predictBatch and the
+// parallel cold-path graph encoder, split out with an explicit worker
+// count so tests can pin the concurrency and assert the cancellation
+// contract deterministically. fn receives its worker index (stable per
+// goroutine, in [0, workers)) so callers can keep per-worker scratch —
+// the cold encoder's per-worker arenas — without synchronization. It
+// returns per-item results and errors (nil error means item i
+// finished).
+func runBatch[T any](ctx context.Context, n, workers int, fn func(worker, i int) (T, error)) ([]T, []error) {
 	if n == 0 {
 		return nil, nil
 	}
@@ -43,7 +47,7 @@ func runBatch(ctx context.Context, n, workers int, predict func(int) (float64, e
 	if workers < 1 {
 		workers = 1
 	}
-	out := make([]float64, n)
+	out := make([]T, n)
 	errs := make([]error, n)
 	done := make([]bool, n)
 	var next atomic.Int64
@@ -52,7 +56,7 @@ func runBatch(ctx context.Context, n, workers int, predict func(int) (float64, e
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !stop.Load() {
 				i := int(next.Add(1))
@@ -63,10 +67,10 @@ func runBatch(ctx context.Context, n, workers int, predict func(int) (float64, e
 					stop.Store(true)
 					return
 				}
-				out[i], errs[i] = predict(i)
+				out[i], errs[i] = fn(w, i)
 				done[i] = true
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

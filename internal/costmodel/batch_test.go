@@ -24,7 +24,7 @@ func TestRunBatchCancelMidBatch(t *testing.T) {
 	var calls atomic.Int32
 	var arrived atomic.Int32
 	barrier := make(chan struct{})
-	predict := func(i int) (float64, error) {
+	predict := func(_, i int) (float64, error) {
 		calls.Add(1)
 		// Both workers park here; the second to arrive cancels, so the
 		// cancellation is strictly ordered before either worker's next

@@ -1,0 +1,61 @@
+package costmodel
+
+import (
+	"context"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/nn"
+)
+
+// BenchmarkPredictBatchCold measures cold-batch throughput (every item
+// encodes, nothing memoized) over 256 distinct plans: the serial
+// reference (per-item Encode, then one fused pass) against the parallel
+// cold path PredictBatch runs (memo scan → dedup → worker-pool encode
+// into pooled arenas → pack → fused pass). Run with -cpu 1,2,4 to see
+// the encode fan-out scale.
+func BenchmarkPredictBatchCold(b *testing.B) {
+	zs, f := fitZeroShot(b)
+	const batch = 256
+	recs, err := collect.Run(f.db, collect.Options{Queries: batch, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]PlanInput, len(recs))
+	for i, s := range FromRecords(f.db, recs) {
+		ins[i] = s.PlanInput
+		ins[i].Enc = nil // keep every iteration fully cold
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		// The pre-parallel cold path: per-item heap encode on one core,
+		// one single-threaded fused pass.
+		defer nn.SetMaxWorkers(nn.SetMaxWorkers(1))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graphs := make([]*encoding.Graph, len(ins))
+			for j, in := range ins {
+				g, err := zs.encode(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				graphs[j] = g
+			}
+			if got := zs.model.PredictBatch(graphs); len(got) != len(ins) {
+				b.Fatal("short prediction batch")
+			}
+		}
+		b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "preds/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := zs.PredictBatch(ctx, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "preds/s")
+	})
+}

@@ -1,0 +1,305 @@
+package costmodel
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/collect"
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/schema"
+	"github.com/zeroshot-db/zeroshot/internal/storage"
+)
+
+// fitZeroShot builds and fits a small zero-shot estimator on the shared
+// fixture for the cold-path tests.
+func fitZeroShot(t testing.TB) (*ZeroShot, fixture) {
+	t.Helper()
+	f := sharedFixture(t)
+	est, err := New(NameZeroShot, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Fit(context.Background(), f.train); err != nil {
+		t.Fatal(err)
+	}
+	return est.(*ZeroShot), f
+}
+
+// TestColdBatchParallelEqualsSerial pins the parallel cold path bitwise
+// against a serial encode of the same inputs: encode every item one at
+// a time through the single-predict path, run the fused pass over those
+// graphs, and require PredictBatch (memo→dedup→parallel encode→pack)
+// to produce the identical float64s — cold, and again warm.
+func TestColdBatchParallelEqualsSerial(t *testing.T) {
+	zs, f := fitZeroShot(t)
+	ctx := context.Background()
+
+	ins := make([]PlanInput, len(f.eval))
+	for i := range f.eval {
+		ins[i] = f.eval[i].PlanInput
+		ins[i].Enc = nil // fully cold, no memo
+	}
+
+	// Serial reference: per-item encode (the old cold path), one fused
+	// forward pass.
+	graphs := make([]*encoding.Graph, len(ins))
+	for i, in := range ins {
+		g, err := zs.encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[i] = g
+	}
+	want := zs.model.PredictBatch(graphs)
+
+	got, err := zs.PredictBatch(ctx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cold item %d: parallel %v != serial %v", i, got[i], want[i])
+		}
+	}
+
+	// Memoized inputs take the warm path and must agree bitwise too.
+	for i := range ins {
+		ins[i].Enc = NewEncodedPlan()
+	}
+	for _, pass := range []string{"cold-into-memo", "warm"} {
+		got, err := zs.PredictBatch(ctx, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s item %d: %v != serial %v", pass, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestColdBatchDedup pins the dedup stage: N cold items sharing one
+// plan (and one memo) must encode exactly once — every item's memo
+// entry is the SAME graph pointer, proving a single Encode produced the
+// batch's graph — and the scan must report exactly one distinct shape.
+func TestColdBatchDedup(t *testing.T) {
+	zs, f := fitZeroShot(t)
+	ctx := context.Background()
+
+	const n = 64
+	base := f.eval[0].PlanInput
+	enc := zs.encoderFor(base.DB.Schema)
+
+	// Each duplicate carries its OWN memo: if the batch encoded the
+	// shape more than once, different memos would end up holding
+	// different graph pointers.
+	ins := make([]PlanInput, n)
+	memos := make([]*EncodedPlan, n)
+	for i := range ins {
+		ins[i] = base
+		memos[i] = NewEncodedPlan()
+		ins[i].Enc = memos[i]
+	}
+	if _, err := zs.PredictBatch(ctx, ins); err != nil {
+		t.Fatal(err)
+	}
+	g0, ok := memos[0].Lookup(enc)
+	if !ok {
+		t.Fatal("cold batch did not populate the memo")
+	}
+	for i, m := range memos {
+		g, ok := m.Lookup(enc)
+		if !ok {
+			t.Fatalf("item %d memo not populated", i)
+		}
+		if g != g0 {
+			t.Fatalf("item %d got a different graph than item 0 — shape encoded more than once", i)
+		}
+	}
+
+	// The scan itself: one distinct shape carrying all n items, marked
+	// escaping (memos hold it beyond the batch).
+	for i := range ins {
+		ins[i].Enc = NewEncodedPlan()
+	}
+	graphs, release, err := zs.encodeBatch(ctx, ins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	for i := 1; i < n; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("item %d graph differs from item 0 after dedup", i)
+		}
+	}
+}
+
+// TestColdBatchConcurrentSharedMemo hammers the parallel cold path from
+// many goroutines over inputs sharing ONE memo (the serving plan-cache
+// shape: concurrent cold batches racing to warm the same entry). Run
+// under -race in CI; results must match the serial reference bitwise.
+func TestColdBatchConcurrentSharedMemo(t *testing.T) {
+	zs, f := fitZeroShot(t)
+	ctx := context.Background()
+
+	ins := make([]PlanInput, len(f.eval))
+	for i := range f.eval {
+		ins[i] = f.eval[i].PlanInput
+		ins[i].Enc = nil
+	}
+	want, err := zs.PredictBatch(ctx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared memo per item, shared across every goroutine's batch.
+	shared := make([]PlanInput, len(ins))
+	copy(shared, ins)
+	for i := range shared {
+		shared[i].Enc = NewEncodedPlan()
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := zs.PredictBatch(ctx, shared)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("concurrent cold batch item %d: %v != %v", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestColdBatchErrorNamesFirstItem pins the parallel path's error
+// contract: the lowest failing input index is the one reported, even
+// when the failure is discovered on a worker.
+func TestColdBatchErrorNamesFirstItem(t *testing.T) {
+	zs, f := fitZeroShot(t)
+	ctx := context.Background()
+
+	// An input whose plan references a table missing from its schema
+	// fails inside Encode (not in the pre-scan validation).
+	broken := f.eval[0].PlanInput
+	broken.DB = storage.NewDatabase(&schema.Schema{Name: "empty"})
+	broken.Enc = nil
+
+	ins := []PlanInput{f.eval[1].PlanInput, broken, f.eval[2].PlanInput, broken}
+	for i := range ins {
+		ins[i].Enc = nil
+	}
+	_, err := zs.PredictBatch(ctx, ins)
+	if err == nil {
+		t.Fatal("batch with an unencodable input did not fail")
+	}
+	if want := "costmodel: batch item 1: "; !strings.HasPrefix(err.Error(), want) {
+		t.Fatalf("err = %q, want prefix %q", err, want)
+	}
+}
+
+// TestPredictBatchWarmAllocsPinned pins the warm path unchanged by the
+// parallel cold machinery: an all-memoized batch must stay at a small
+// constant allocation count — nothing per item, no dedup map, no
+// arenas, no worker pool. A per-item regression would show up as ≥ one
+// alloc per input (64 here).
+func TestPredictBatchWarmAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc bounds only hold unraced")
+	}
+	zs, f := fitZeroShot(t)
+	ctx := context.Background()
+
+	n := len(f.eval)
+	ins := make([]PlanInput, n)
+	for i := range f.eval {
+		ins[i] = f.eval[i].PlanInput
+		ins[i].Enc = NewEncodedPlan()
+	}
+	// Warm every memo and the fused pass's pooled buffers.
+	if _, err := zs.PredictBatch(ctx, ins); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := zs.PredictBatch(ctx, ins); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady-state warm batch: the graphs slice, the predictions slice,
+	// and a few pooled-buffer slot headers — nothing proportional to
+	// the batch. The bound is deliberately far below one alloc/item
+	// (n = 30+) so any per-item regression trips it.
+	if allocs > 16 {
+		t.Fatalf("warm PredictBatch allocates %.0f/op over %d items — warm path no longer allocation-pinned", allocs, n)
+	}
+}
+
+// TestZeroShotEncoderReattach is the encoder-leak regression test: two
+// independently built copies of the SAME database (a re-attach/reload
+// rebuilds *schema.Schema) must share one live encoder. Pointer-keyed
+// caching stranded one encoder per reload, forever.
+func TestZeroShotEncoderReattach(t *testing.T) {
+	zs, _ := fitZeroShot(t)
+	ctx := context.Background()
+
+	cfg := datagen.DefaultConfig()
+	cfg.MaxRows = 2000
+	dbA, err := datagen.Generate("reattach", 23, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := datagen.Generate("reattach", 23, cfg) // the "reload": same content, fresh pointers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbA.Schema == dbB.Schema {
+		t.Fatal("fixture broken: reload shares the schema pointer")
+	}
+	if dbA.Schema.Fingerprint() != dbB.Schema.Fingerprint() {
+		t.Fatal("identical schemas disagree on fingerprint")
+	}
+
+	recs, err := collect.Run(dbA, collect.Options{Queries: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := zs.numEncoders()
+	inA := PlanInput{DB: dbA, Query: recs[0].Query, Plan: recs[0].Plan}
+	inB := inA
+	inB.DB = dbB
+	a, err := zs.Predict(ctx, inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := zs.Predict(ctx, inB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same plan on re-attached database predicts differently: %v != %v", a, b)
+	}
+	if got := zs.numEncoders(); got != before+1 {
+		t.Fatalf("%d new encoders after attaching the same database twice, want 1", got-before)
+	}
+	if zs.encoderFor(dbA.Schema) != zs.encoderFor(dbB.Schema) {
+		t.Fatal("re-attached database got a second encoder — stale encoders leak per reload")
+	}
+}

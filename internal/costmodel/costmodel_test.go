@@ -27,7 +27,7 @@ var (
 	fixErr  error
 )
 
-func sharedFixture(t *testing.T) fixture {
+func sharedFixture(t testing.TB) fixture {
 	t.Helper()
 	fixOnce.Do(func() {
 		cfg := datagen.DefaultConfig()

@@ -6,9 +6,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
+	"github.com/zeroshot-db/zeroshot/internal/plan"
 	"github.com/zeroshot-db/zeroshot/internal/schema"
 	"github.com/zeroshot-db/zeroshot/internal/zeroshot"
 )
@@ -37,7 +39,14 @@ type ZeroShot struct {
 	model *zeroshot.Model
 	card  encoding.CardSource
 
-	encoders sync.Map // *schema.Schema -> *encoding.PlanEncoder
+	// encoders is keyed by schema content fingerprint, not schema
+	// pointer: a database re-attach (or a bundle reload) rebuilds its
+	// *schema.Schema, and pointer keys would strand one stale encoder —
+	// and everything it pins — per reload, forever. Content identity
+	// also means structurally identical schemas share one encoder,
+	// which is semantically exact: the encoder reads only schema
+	// statistics.
+	encoders sync.Map // schema.Fingerprint() -> *encoding.PlanEncoder
 }
 
 // Name implements Estimator.
@@ -51,11 +60,20 @@ func (z *ZeroShot) Card() encoding.CardSource { return z.card }
 func (z *ZeroShot) Model() *zeroshot.Model { return z.model }
 
 func (z *ZeroShot) encoderFor(sch *schema.Schema) *encoding.PlanEncoder {
-	if e, ok := z.encoders.Load(sch); ok {
+	key := sch.Fingerprint()
+	if e, ok := z.encoders.Load(key); ok {
 		return e.(*encoding.PlanEncoder)
 	}
-	e, _ := z.encoders.LoadOrStore(sch, encoding.NewPlanEncoder(sch, z.card))
+	e, _ := z.encoders.LoadOrStore(key, encoding.NewPlanEncoder(sch, z.card))
 	return e.(*encoding.PlanEncoder)
+}
+
+// numEncoders counts live per-schema encoders (test hook for the
+// re-attach leak regression).
+func (z *ZeroShot) numEncoders() int {
+	n := 0
+	z.encoders.Range(func(_, _ any) bool { n++; return true })
+	return n
 }
 
 func (z *ZeroShot) encode(in PlanInput) (*encoding.Graph, error) {
@@ -82,24 +100,139 @@ func (z *ZeroShot) WarmEncode(in PlanInput) error {
 	return err
 }
 
-func (z *ZeroShot) samples(samples []Sample) ([]zeroshot.Sample, error) {
+func (z *ZeroShot) samples(ctx context.Context, samples []Sample) ([]zeroshot.Sample, error) {
+	ins := Inputs(samples)
+	// Training graphs live for the whole Train/FineTune loop, so they
+	// must escape — no arena. The memo→dedup→parallel pipeline still
+	// applies: duplicate shapes encode once and cores share the work.
+	graphs, _, err := z.encodeBatch(ctx, ins, true)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]zeroshot.Sample, len(samples))
 	for i, s := range samples {
-		g, err := z.encode(s.PlanInput)
-		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
-		}
-		out[i] = zeroshot.Sample{Graph: g, RuntimeSec: s.RuntimeSec}
+		out[i] = zeroshot.Sample{Graph: graphs[i], RuntimeSec: s.RuntimeSec}
 	}
 	return out, nil
 }
+
+// coldShape is one distinct plan shape awaiting a cold encode: the
+// (encoder, plan) identity, the batch positions that need its graph,
+// and whether the graph escapes into any item's memo (escaping graphs
+// must not come from an arena).
+type coldShape struct {
+	enc    *encoding.PlanEncoder
+	plan   *plan.Node
+	items  []int
+	escape bool
+}
+
+// coldKey identifies a distinct shape within one batch: items sharing
+// the encoder and the plan (plan caches and what-if sweeps hand the
+// same *plan.Node — and usually the same memo — to every duplicate)
+// encode exactly once.
+type coldKey struct {
+	enc  *encoding.PlanEncoder
+	plan *plan.Node
+}
+
+// encodeBatch resolves every input's plan graph: memo hits first, then
+// the remaining cold items deduped to distinct shapes and fanned over a
+// GOMAXPROCS worker pool (runBatch, so the batch cancellation contract
+// — no item starts after cancel, unfinished items report ctx.Err() —
+// carries over). Graphs that stay private to the batch are built from
+// per-worker pooled arenas; the returned release func recycles those
+// arenas and must be called only after the graphs are dead (packed into
+// a BatchGraph and the forward pass done). Graphs that escape — into an
+// item's memo, or unconditionally when escapeAll is set (training) —
+// are heap-built and live as long as their holders.
+//
+// The warm path (every input memoized) allocates only the result slice
+// and returns a shared no-op release.
+func (z *ZeroShot) encodeBatch(ctx context.Context, ins []PlanInput, escapeAll bool) ([]*encoding.Graph, func(), error) {
+	graphs := make([]*encoding.Graph, len(ins))
+	var (
+		cold   []*coldShape // distinct cold shapes, first-occurrence order
+		shapes map[coldKey]*coldShape
+	)
+	for i, in := range ins {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
+		}
+		if in.DB == nil || in.Plan == nil {
+			return nil, nil, fmt.Errorf("costmodel: batch item %d: zeroshot estimator needs DB and Plan inputs", i)
+		}
+		enc := z.encoderFor(in.DB.Schema)
+		if g, ok := in.Enc.Lookup(enc); ok {
+			graphs[i] = g
+			continue
+		}
+		k := coldKey{enc: enc, plan: in.Plan}
+		if shapes == nil {
+			shapes = map[coldKey]*coldShape{}
+		}
+		s, ok := shapes[k]
+		if !ok {
+			s = &coldShape{enc: enc, plan: in.Plan}
+			shapes[k] = s
+			cold = append(cold, s)
+		}
+		s.items = append(s.items, i)
+		if escapeAll || in.Enc != nil {
+			s.escape = true
+		}
+	}
+	if len(cold) == 0 {
+		return graphs, noopRelease, nil
+	}
+
+	arenas := make([]*encoding.Arena, runtime.GOMAXPROCS(0))
+	release := func() {
+		for _, a := range arenas {
+			if a != nil {
+				a.Release()
+			}
+		}
+	}
+	encoded, errs := runBatch(ctx, len(cold), len(arenas), func(w, j int) (*encoding.Graph, error) {
+		s := cold[j]
+		if s.escape {
+			return s.enc.Encode(s.plan)
+		}
+		if arenas[w] == nil {
+			arenas[w] = encoding.GetArena()
+		}
+		return s.enc.EncodeArena(arenas[w], s.plan)
+	})
+	// cold is in first-occurrence order, so the first failing shape's
+	// first item is the lowest failing input index — the same item a
+	// serial scan would have reported.
+	for j, err := range errs {
+		if err != nil {
+			release()
+			return nil, nil, fmt.Errorf("costmodel: batch item %d: %w", cold[j].items[0], err)
+		}
+	}
+	for j, s := range cold {
+		g := encoded[j]
+		for _, i := range s.items {
+			graphs[i] = g
+			ins[i].Enc.Store(s.enc, g)
+		}
+	}
+	return graphs, release, nil
+}
+
+// noopRelease is the warm path's release: no arenas were taken, nothing
+// to recycle. Shared so the all-memoized path allocates no closure.
+func noopRelease() {}
 
 // Fit implements Estimator.
 func (z *ZeroShot) Fit(ctx context.Context, samples []Sample) (*FitReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	zs, err := z.samples(samples)
+	zs, err := z.samples(ctx, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +249,7 @@ func (z *ZeroShot) FineTune(ctx context.Context, samples []Sample, epochs int, l
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	zs, err := z.samples(samples)
+	zs, err := z.samples(ctx, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -157,29 +290,30 @@ func (z *ZeroShot) Predict(ctx context.Context, in PlanInput) (float64, error) {
 }
 
 // PredictBatch implements Estimator: the whole batch executes as ONE
-// fused forward pass. Inputs are encoded into plan graphs (with a
-// cancellation check between items), packed into an encoding.BatchGraph
-// and run through the model's tape-free batched inference — bitwise
-// identical to predicting each input alone, minus the per-item tape,
-// gradient and goroutine overhead. Inputs may span databases: each is
-// encoded against its own schema, and the packed pass never reads
-// schema state.
+// fused forward pass. The encode stage runs the cold-path pipeline —
+// memo hits resolve first, remaining cold items dedupe to distinct
+// shapes, and the distinct shapes encode in parallel over a GOMAXPROCS
+// worker pool with pooled arena scratch (see encodeBatch) — then the
+// graphs are packed into an encoding.BatchGraph and run through the
+// model's tape-free batched inference. The result is bitwise identical
+// to predicting each input alone: encoding is deterministic per shape,
+// duplicates share one graph with identical features, and the packed
+// pass is the exact per-row operation sequence of Predict. Inputs may
+// span databases: each is encoded against its own schema, and the
+// packed pass never reads schema state.
 func (z *ZeroShot) PredictBatch(ctx context.Context, ins []PlanInput) ([]float64, error) {
 	if len(ins) == 0 {
 		return nil, nil
 	}
-	graphs := make([]*encoding.Graph, len(ins))
-	for i, in := range ins {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
-		}
-		g, err := z.encode(in)
-		if err != nil {
-			return nil, fmt.Errorf("costmodel: batch item %d: %w", i, err)
-		}
-		graphs[i] = g
+	graphs, release, err := z.encodeBatch(ctx, ins, false)
+	if err != nil {
+		return nil, err
 	}
-	return z.model.PredictBatch(graphs), nil
+	// PredictBatch packs (copying features and topology) before the
+	// forward pass, so arena graphs are dead once it returns.
+	preds := z.model.PredictBatch(graphs)
+	release()
+	return preds, nil
 }
 
 // FusesBatches implements BatchFuser: zero-shot batches run as one

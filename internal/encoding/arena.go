@@ -1,0 +1,139 @@
+package encoding
+
+import "sync"
+
+// Arena is the pooled graph-build scratch of the cold encoding path:
+// nodes, feature vectors, child slices and graph headers are carved out
+// of reusable chunked slabs instead of individual heap allocations, so
+// a cold batch's transient graphs cost near-zero allocations at steady
+// state. An Arena serves any number of EncodeArena calls; Release
+// resets the carve cursors (retaining the slabs) and returns the arena
+// to a package pool.
+//
+// The lifetime contract is strict: every Graph built through an arena
+// — including all of its nodes and feature slices — is INVALID after
+// Release, because the next holder of the arena will overwrite the
+// slabs. Callers must therefore only arena-encode graphs that die with
+// the batch (packed into an encoding.BatchGraph, which copies what it
+// needs, then dropped). Graphs that escape — into an EncodedPlan memo,
+// a training sample set, any cache — must use PlanEncoder.Encode,
+// which heap-allocates as usual.
+//
+// An Arena is not safe for concurrent use; parallel encoders take one
+// arena per worker.
+type Arena struct {
+	nodes  arenaSlab[GNode]
+	feats  arenaSlab[float64]
+	kids   arenaSlab[*GNode]
+	graphs []*Graph // recycled headers; their Nodes backings are reused
+	ng     int      // headers handed out since the last reset
+	cols   map[string]*GNode
+}
+
+// Chunk sizes: one chunk comfortably holds a typical plan graph
+// (tens of nodes, a few hundred features), so most encodes carve from
+// already-allocated slabs.
+const (
+	arenaNodeChunk = 512
+	arenaFeatChunk = 8192
+	arenaKidChunk  = 1024
+)
+
+var arenaPool = sync.Pool{New: func() any {
+	return &Arena{
+		nodes: arenaSlab[GNode]{chunk: arenaNodeChunk},
+		feats: arenaSlab[float64]{chunk: arenaFeatChunk},
+		kids:  arenaSlab[*GNode]{chunk: arenaKidChunk},
+		cols:  map[string]*GNode{},
+	}
+}}
+
+// GetArena takes an arena from the package pool. Pair with Release.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// Release resets the arena (keeping its slabs warm) and returns it to
+// the pool. Every graph built through the arena is invalid afterwards.
+func (a *Arena) Release() {
+	a.nodes.reset()
+	a.feats.reset()
+	a.kids.reset()
+	a.ng = 0
+	clear(a.cols)
+	arenaPool.Put(a)
+}
+
+// newGraph hands out a recycled Graph header with an empty node list.
+func (a *Arena) newGraph() *Graph {
+	if a.ng < len(a.graphs) {
+		g := a.graphs[a.ng]
+		a.ng++
+		g.Root = nil
+		g.Nodes = g.Nodes[:0]
+		return g
+	}
+	g := &Graph{}
+	a.graphs = append(a.graphs, g)
+	a.ng++
+	return g
+}
+
+// newNode carves one GNode with a zeroed featDim-wide feature vector
+// and an empty child slice of capacity childCap. The child slice has a
+// hard capacity bound (full-slice expression), so an append past
+// childCap cannot bleed into a neighboring node's children.
+func (a *Arena) newNode(t NodeType, featDim, childCap int) *GNode {
+	n := &a.nodes.alloc(1)[0]
+	feat := a.feats.alloc(featDim)
+	clear(feat) // slabs are recycled; one-hot features rely on zeros
+	n.Type = t
+	n.Feat = feat
+	if childCap > 0 {
+		n.Children = a.kids.alloc(childCap)[:0]
+	} else {
+		n.Children = nil
+	}
+	return n
+}
+
+// colCache returns the arena's reusable column-node cache, cleared for
+// a fresh encode.
+func (a *Arena) colCache() map[string]*GNode {
+	clear(a.cols)
+	return a.cols
+}
+
+// arenaSlab carves fixed-size allocations out of a list of reusable
+// chunks. reset rewinds the carve cursor without freeing chunks, so a
+// warm slab allocates nothing.
+type arenaSlab[T any] struct {
+	bufs  [][]T
+	cur   int // chunk currently being carved
+	used  int // elements carved from bufs[cur]
+	chunk int // preferred new-chunk size
+}
+
+// alloc returns a length-n, capacity-n slice backed by slab memory.
+// Addresses are stable for the life of the slab (chunks never move).
+func (s *arenaSlab[T]) alloc(n int) []T {
+	for s.cur < len(s.bufs) {
+		if len(s.bufs[s.cur])-s.used >= n {
+			out := s.bufs[s.cur][s.used : s.used+n : s.used+n]
+			s.used += n
+			return out
+		}
+		s.cur++
+		s.used = 0
+	}
+	size := s.chunk
+	if n > size {
+		size = n
+	}
+	s.bufs = append(s.bufs, make([]T, size))
+	s.used = n
+	return s.bufs[s.cur][:n:n]
+}
+
+func (s *arenaSlab[T]) reset() {
+	s.cur = 0
+	s.used = 0
+}

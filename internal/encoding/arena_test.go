@@ -1,0 +1,162 @@
+package encoding
+
+import (
+	"testing"
+
+	"github.com/zeroshot-db/zeroshot/internal/datagen"
+	"github.com/zeroshot-db/zeroshot/internal/query"
+)
+
+// graphsEqual compares two graphs structurally and bitwise: same node
+// count, same topological order of node types, identical feature
+// vectors, and identical child wiring (by node index).
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	aIdx := make(map[*GNode]int, len(a.Nodes))
+	bIdx := make(map[*GNode]int, len(b.Nodes))
+	for i := range a.Nodes {
+		aIdx[a.Nodes[i]] = i
+		bIdx[b.Nodes[i]] = i
+	}
+	for i := range a.Nodes {
+		an, bn := a.Nodes[i], b.Nodes[i]
+		if an.Type != bn.Type {
+			t.Fatalf("node %d type %d vs %d", i, an.Type, bn.Type)
+		}
+		if len(an.Feat) != len(bn.Feat) {
+			t.Fatalf("node %d feat dims %d vs %d", i, len(an.Feat), len(bn.Feat))
+		}
+		for j := range an.Feat {
+			if an.Feat[j] != bn.Feat[j] {
+				t.Fatalf("node %d feat[%d]: %v vs %v", i, j, an.Feat[j], bn.Feat[j])
+			}
+		}
+		if len(an.Children) != len(bn.Children) {
+			t.Fatalf("node %d children %d vs %d", i, len(an.Children), len(bn.Children))
+		}
+		for j := range an.Children {
+			if aIdx[an.Children[j]] != bIdx[bn.Children[j]] {
+				t.Fatalf("node %d child %d wired to %d vs %d", i, j, aIdx[an.Children[j]], bIdx[bn.Children[j]])
+			}
+		}
+	}
+	if aIdx[a.Root] != bIdx[b.Root] {
+		t.Fatalf("roots differ: node %d vs %d", aIdx[a.Root], bIdx[b.Root])
+	}
+}
+
+// TestEncodeArenaMatchesHeap pins the arena encode path bitwise against
+// the heap path for a plan exercising every node type (scans, a join,
+// predicates, an aggregate, shared column nodes).
+func TestEncodeArenaMatchesHeap(t *testing.T) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, db, joinQuery(), false)
+	enc := NewPlanEncoder(db.Schema, CardEstimated)
+
+	heap, err := enc.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := GetArena()
+	defer a.Release()
+	arena, err := enc.EncodeArena(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, heap, arena)
+}
+
+// TestArenaReuseAfterRelease checks the pool contract: an arena released
+// and reacquired produces correct graphs again, and graphs built in the
+// same arena before a Release never alias each other's features.
+func TestArenaReuseAfterRelease(t *testing.T) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := &query.Query{
+		Tables: []string{"title"},
+		Filters: []query.Filter{
+			{Col: query.ColumnRef{Table: "title", Column: "production_year"}, Op: query.OpLt, Value: 80},
+		},
+	}
+	p1 := planFor(t, db, joinQuery(), false)
+	p2 := planFor(t, db, q2, false)
+	enc := NewPlanEncoder(db.Schema, CardEstimated)
+	ref1, err := enc.Encode(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := enc.Encode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := GetArena()
+	// Two graphs in one arena: building the second must not disturb the
+	// first (slab carving, column-cache reset between graphs).
+	g1, err := enc.EncodeArena(a, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := enc.EncodeArena(a, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, ref1, g1)
+	graphsEqual(t, ref2, g2)
+
+	// Release and reacquire until we observe reuse of the same arena,
+	// then re-encode and require the same bits — stale slab contents
+	// from the previous cycle must never leak into new graphs.
+	a.Release()
+	b := GetArena()
+	defer b.Release()
+	g1, err = enc.EncodeArena(b, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err = enc.EncodeArena(b, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, ref1, g1)
+	graphsEqual(t, ref2, g2)
+}
+
+// TestArenaSlabGrowth forces slab overflow (more nodes than one chunk)
+// and checks pointers stay valid — chunked slabs must never reallocate
+// memory already handed out.
+func TestArenaSlabGrowth(t *testing.T) {
+	db, err := datagen.IMDBLike(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, db, joinQuery(), false)
+	enc := NewPlanEncoder(db.Schema, CardEstimated)
+	ref, err := enc.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := GetArena()
+	defer a.Release()
+	// Encode enough copies to spill every slab across chunk boundaries.
+	var graphs []*Graph
+	for i := 0; i < 200; i++ {
+		g, err := enc.EncodeArena(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		graphsEqual(t, ref, g)
+	}
+}

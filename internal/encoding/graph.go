@@ -14,6 +14,7 @@ package encoding
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/zeroshot-db/zeroshot/internal/plan"
 	"github.com/zeroshot-db/zeroshot/internal/query"
@@ -183,17 +184,64 @@ func (e *PlanEncoder) WithHardware(hw Hardware) *PlanEncoder {
 	return &c
 }
 
+// colCachePool recycles the transient per-encode column-node cache of
+// the heap path. The graph itself escapes (memos, training sets retain
+// it), so only this build scratch is poolable.
+var colCachePool = sync.Pool{New: func() any { return map[string]*GNode{} }}
+
+// encBuild is the per-encode build state: the graph under construction,
+// the column-node dedup cache, and the optional arena every allocation
+// is drawn from (nil means plain heap allocation).
+type encBuild struct {
+	g     *Graph
+	cols  map[string]*GNode
+	arena *Arena
+}
+
+// newNode allocates one node with a zeroed featDim-wide feature vector
+// and room for childCap children, from the arena when present.
+func (b *encBuild) newNode(t NodeType, featDim, childCap int) *GNode {
+	if b.arena != nil {
+		return b.arena.newNode(t, featDim, childCap)
+	}
+	n := &GNode{Type: t, Feat: make([]float64, featDim)}
+	if childCap > 0 {
+		n.Children = make([]*GNode, 0, childCap)
+	}
+	return n
+}
+
 // Encode builds the query graph for an optimizer-produced plan. With
-// CardExact the plan must have been executed (TrueRows filled).
+// CardExact the plan must have been executed (TrueRows filled). The
+// graph is heap-allocated and may be retained indefinitely (encoded-
+// plan memos, training samples).
 func (e *PlanEncoder) Encode(root *plan.Node) (*Graph, error) {
-	g := &Graph{}
-	colCache := map[string]*GNode{}
-	rootNode, err := e.encodeOp(root, g, colCache)
+	cols := colCachePool.Get().(map[string]*GNode)
+	clear(cols)
+	b := encBuild{g: &Graph{}, cols: cols}
+	g, err := e.encode(root, &b)
+	colCachePool.Put(cols)
+	return g, err
+}
+
+// EncodeArena is Encode with every allocation — nodes, feature vectors,
+// child slices, the graph header — carved from the arena. The result is
+// bitwise identical to Encode but valid only until the arena's Release;
+// use it for transient graphs that are packed into a BatchGraph and
+// dropped (the parallel cold batch path), never for graphs that escape
+// into a memo or cache.
+func (e *PlanEncoder) EncodeArena(a *Arena, root *plan.Node) (*Graph, error) {
+	b := encBuild{g: a.newGraph(), cols: a.colCache(), arena: a}
+	return e.encode(root, &b)
+}
+
+func (e *PlanEncoder) encode(root *plan.Node, b *encBuild) (*Graph, error) {
+	rootNode, err := e.encodeOp(root, b)
 	if err != nil {
 		return nil, err
 	}
-	g.Root = rootNode
-	return g, nil
+	b.g.Root = rootNode
+	return b.g, nil
 }
 
 // add appends the node to the topological order (children must already be
@@ -219,8 +267,17 @@ func (e *PlanEncoder) cardOf(n *plan.Node) (float64, error) {
 	}
 }
 
-func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNode) (*GNode, error) {
-	node := &GNode{Type: OpNode, Feat: make([]float64, OpFeatDim)}
+func (e *PlanEncoder) encodeOp(n *plan.Node, b *encBuild) (*GNode, error) {
+	// The child count is fully determined before recursion, so arena
+	// child slices can be carved exactly once at exact capacity.
+	childCap := len(n.Children) + len(n.Filters) + len(n.Aggregates) + len(n.GroupBy)
+	if n.Op == plan.SeqScan || n.Op == plan.IndexScan {
+		childCap++
+	}
+	if n.Join != nil {
+		childCap += 2
+	}
+	node := b.newNode(OpNode, OpFeatDim, childCap)
 	node.Feat[int(n.Op)] = 1
 	if n.LookupJoin {
 		node.Feat[plan.NumOperators] = 1
@@ -245,7 +302,7 @@ func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNod
 
 	// Children: plan inputs first.
 	for _, c := range n.Children {
-		child, err := e.encodeOp(c, g, colCache)
+		child, err := e.encodeOp(c, b)
 		if err != nil {
 			return nil, err
 		}
@@ -253,14 +310,14 @@ func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNod
 	}
 	// Scans attach their table node and predicate nodes.
 	if n.Op == plan.SeqScan || n.Op == plan.IndexScan {
-		tn, err := e.tableNode(n.Table, g)
+		tn, err := e.tableNode(n.Table, b)
 		if err != nil {
 			return nil, err
 		}
 		node.Children = append(node.Children, tn)
 	}
 	for _, f := range n.Filters {
-		pn, err := e.predNode(f, g, colCache)
+		pn, err := e.predNode(f, b)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +326,7 @@ func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNod
 	// Join conditions attach the joined column nodes.
 	if n.Join != nil {
 		for _, side := range []query.ColumnRef{n.Join.Left, n.Join.Right} {
-			cn, err := e.columnNode(side, g, colCache)
+			cn, err := e.columnNode(side, b)
 			if err != nil {
 				return nil, err
 			}
@@ -278,38 +335,37 @@ func (e *PlanEncoder) encodeOp(n *plan.Node, g *Graph, colCache map[string]*GNod
 	}
 	// Aggregates and group-by columns.
 	for _, a := range n.Aggregates {
-		an, err := e.aggNode(a, g, colCache)
+		an, err := e.aggNode(a, b)
 		if err != nil {
 			return nil, err
 		}
 		node.Children = append(node.Children, an)
 	}
 	for _, gb := range n.GroupBy {
-		cn, err := e.columnNode(gb, g, colCache)
+		cn, err := e.columnNode(gb, b)
 		if err != nil {
 			return nil, err
 		}
 		node.Children = append(node.Children, cn)
 	}
-	return g.add(node), nil
+	return b.g.add(node), nil
 }
 
-func (e *PlanEncoder) tableNode(table string, g *Graph) (*GNode, error) {
+func (e *PlanEncoder) tableNode(table string, b *encBuild) (*GNode, error) {
 	tm := e.sch.Table(table)
 	if tm == nil {
 		return nil, fmt.Errorf("encoding: unknown table %s", table)
 	}
-	n := &GNode{Type: TableNode, Feat: []float64{
-		logScale(float64(tm.RowCount)),
-		logScale(float64(tm.PageCount)),
-		logScale(float64(tm.RowWidth())),
-	}}
-	return g.add(n), nil
+	n := b.newNode(TableNode, TableFeatDim, 0)
+	n.Feat[0] = logScale(float64(tm.RowCount))
+	n.Feat[1] = logScale(float64(tm.PageCount))
+	n.Feat[2] = logScale(float64(tm.RowWidth()))
+	return b.g.add(n), nil
 }
 
-func (e *PlanEncoder) columnNode(ref query.ColumnRef, g *Graph, cache map[string]*GNode) (*GNode, error) {
+func (e *PlanEncoder) columnNode(ref query.ColumnRef, b *encBuild) (*GNode, error) {
 	key := ref.String()
-	if n, ok := cache[key]; ok {
+	if n, ok := b.cols[key]; ok {
 		return n, nil
 	}
 	tm := e.sch.Table(ref.Table)
@@ -320,37 +376,39 @@ func (e *PlanEncoder) columnNode(ref query.ColumnRef, g *Graph, cache map[string
 	if cm == nil {
 		return nil, fmt.Errorf("encoding: unknown column %s", ref)
 	}
-	feat := make([]float64, ColumnFeatDim)
-	feat[int(cm.Type)] = 1
-	feat[schema.NumDataTypes] = logScale(float64(cm.DistinctCount))
-	feat[schema.NumDataTypes+1] = cm.NullFrac
-	feat[schema.NumDataTypes+2] = float64(cm.Type.Width()) / 16
-	n := &GNode{Type: ColumnNode, Feat: feat}
-	cache[key] = n
-	return g.add(n), nil
+	n := b.newNode(ColumnNode, ColumnFeatDim, 0)
+	n.Feat[int(cm.Type)] = 1
+	n.Feat[schema.NumDataTypes] = logScale(float64(cm.DistinctCount))
+	n.Feat[schema.NumDataTypes+1] = cm.NullFrac
+	n.Feat[schema.NumDataTypes+2] = float64(cm.Type.Width()) / 16
+	b.cols[key] = n
+	return b.g.add(n), nil
 }
 
-func (e *PlanEncoder) predNode(f query.Filter, g *Graph, cache map[string]*GNode) (*GNode, error) {
-	cn, err := e.columnNode(f.Col, g, cache)
+func (e *PlanEncoder) predNode(f query.Filter, b *encBuild) (*GNode, error) {
+	cn, err := e.columnNode(f.Col, b)
 	if err != nil {
 		return nil, err
 	}
-	feat := make([]float64, PredFeatDim)
-	feat[int(f.Op)] = 1
-	n := &GNode{Type: PredNode, Feat: feat, Children: []*GNode{cn}}
-	return g.add(n), nil
+	n := b.newNode(PredNode, PredFeatDim, 1)
+	n.Feat[int(f.Op)] = 1
+	n.Children = append(n.Children, cn)
+	return b.g.add(n), nil
 }
 
-func (e *PlanEncoder) aggNode(a query.Aggregate, g *Graph, cache map[string]*GNode) (*GNode, error) {
-	feat := make([]float64, AggFeatDim)
-	feat[int(a.Func)] = 1
-	n := &GNode{Type: AggNode, Feat: feat}
-	if a.Col.Table != "" {
-		cn, err := e.columnNode(a.Col, g, cache)
+func (e *PlanEncoder) aggNode(agg query.Aggregate, b *encBuild) (*GNode, error) {
+	childCap := 0
+	if agg.Col.Table != "" {
+		childCap = 1
+	}
+	n := b.newNode(AggNode, AggFeatDim, childCap)
+	n.Feat[int(agg.Func)] = 1
+	if agg.Col.Table != "" {
+		cn, err := e.columnNode(agg.Col, b)
 		if err != nil {
 			return nil, err
 		}
-		n.Children = []*GNode{cn}
+		n.Children = append(n.Children, cn)
 	}
-	return g.add(n), nil
+	return b.g.add(n), nil
 }

@@ -39,10 +39,13 @@ func (w *Window) Observe(x float64) {
 	if w.filled < len(w.buf) {
 		w.filled++
 	}
-	w.count++
-	if x > w.max {
+	// The lifetime max seeds from the FIRST observation rather than the
+	// zero value: an all-negative series (log-space residuals) would
+	// otherwise report a Max of 0 that was never observed.
+	if w.count == 0 || x > w.max {
 		w.max = x
 	}
+	w.count++
 }
 
 // Reset empties the reservoir so quantiles restart from fresh

@@ -61,6 +61,45 @@ func TestWindowReset(t *testing.T) {
 	}
 }
 
+// TestWindowLifetimeMax pins the lifetime max against series that never
+// cross zero: the max must seed from the first observation, not from
+// the zero value — an all-negative window (e.g. log-space residuals)
+// previously reported a Max of 0 that was never observed.
+func TestWindowLifetimeMax(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []float64
+		want float64
+	}{
+		{"negative-only", []float64{-3.5, -1.25, -9, -1.25}, -1.25},
+		{"single-negative", []float64{-7}, -7},
+		{"single-positive", []float64{4.5}, 4.5},
+		{"single-zero", []float64{0}, 0},
+		{"descending-negative", []float64{-1, -2, -3}, -1},
+		{"crosses-zero", []float64{-2, 0.5, -4}, 0.5},
+		{"positive-only", []float64{1, 8, 3}, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWindow(4)
+			for _, x := range tc.obs {
+				w.Observe(x)
+			}
+			if s := w.Snapshot(); s.Max != tc.want {
+				t.Fatalf("max = %v, want %v (observations %v)", s.Max, tc.want, tc.obs)
+			}
+		})
+	}
+
+	// Reset keeps the lifetime max even when it is negative.
+	w := NewWindow(4)
+	w.Observe(-2)
+	w.Reset()
+	if s := w.Snapshot(); s.Max != -2 {
+		t.Fatalf("post-reset max = %v, want -2", s.Max)
+	}
+}
+
 func TestWindowDefaultCapacity(t *testing.T) {
 	w := NewWindow(0)
 	if len(w.buf) != DefaultWindowSize {

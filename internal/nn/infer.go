@@ -41,6 +41,19 @@ func (inf *Inference) Reset() { inf.used = 0 }
 // time), so per-call allocations vanish once the context has seen its
 // steady-state shapes.
 func (inf *Inference) Tensor(rows, cols int) *Tensor {
+	t := inf.TensorUninit(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// TensorUninit is Tensor without the zeroing: recycled storage keeps
+// whatever the previous pass left in it. Only for destinations every
+// row of which is fully overwritten before being read (MatMulInto
+// output, gather/scatter staging) — it skips the memclr that would be
+// pure waste there.
+func (inf *Inference) TensorUninit(rows, cols int) *Tensor {
 	if rows <= 0 || cols <= 0 {
 		panic("nn: invalid inference tensor shape")
 	}
@@ -54,9 +67,6 @@ func (inf *Inference) Tensor(rows, cols int) *Tensor {
 		t.Data = make([]float64, n)
 	} else {
 		t.Data = t.Data[:n]
-		for i := range t.Data {
-			t.Data[i] = 0
-		}
 	}
 	t.Rows, t.Cols = rows, cols
 	return t
@@ -67,7 +77,7 @@ func (inf *Inference) Tensor(rows, cols int) *Tensor {
 // identical to applying the tape path row by row (same matmul inner
 // order, same bias additions).
 func (l *Linear) Infer(inf *Inference, x *Tensor) *Tensor {
-	out := inf.Tensor(x.Rows, l.Out)
+	out := inf.TensorUninit(x.Rows, l.Out) // MatMulInto overwrites every row
 	MatMulInto(out, x, l.W.Val)
 	out.AddRowBroadcast(l.B.Val)
 	return out

@@ -36,9 +36,8 @@ func TestInferMatchesTapeRowByRow(t *testing.T) {
 }
 
 // TestInferenceTensorRecyclingZeroes checks scratch tensors come back
-// zeroed after a Reset (MatMulInto accumulates, so a dirty buffer would
-// corrupt the next pass) and that a slot grows when a larger shape is
-// requested.
+// zeroed after a Reset (consumers that accumulate into scratch rely on
+// it) and that a slot grows when a larger shape is requested.
 func TestInferenceTensorRecyclingZeroes(t *testing.T) {
 	inf := GetInference()
 	defer inf.Release()

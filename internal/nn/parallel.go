@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Coarse-grained row parallelism for batch inference. A caller splits
+// independent work items (graphs of a fused batch, rows of a huge
+// matmul) into contiguous blocks that run concurrently on a persistent
+// worker pool. Blocks execute the identical serial per-item code, so
+// results are bitwise independent of the split and of scheduling.
+
+// maxWorkers caps row-parallel fan-out. 0 (the default) means "use
+// GOMAXPROCS at call time".
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers caps the number of concurrent workers RowParallel may
+// use and returns the previous cap. n <= 0 restores the default
+// (GOMAXPROCS at call time); n == 1 forces fully serial execution —
+// what benchmarks use to measure the single-threaded baseline on a
+// multi-core box.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int32(n)))
+}
+
+func workerCap() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type rowJob struct {
+	fn func(lo, hi int)
+	wg sync.WaitGroup
+}
+
+type rowTask struct {
+	job    *rowJob
+	lo, hi int
+}
+
+var (
+	jobPool  = sync.Pool{New: func() any { return new(rowJob) }}
+	taskPool = sync.Pool{New: func() any { return new(rowTask) }}
+	taskCh   chan *rowTask
+	poolOnce sync.Once
+)
+
+// startWorkers spawns the persistent pool — one goroutine per CPU,
+// idling on the channel for the process lifetime.
+func startWorkers() {
+	n := runtime.NumCPU()
+	taskCh = make(chan *rowTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range taskCh {
+				j, lo, hi := t.job, t.lo, t.hi
+				taskPool.Put(t)
+				j.fn(lo, hi)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// RowParallel runs fn(lo, hi) over disjoint contiguous blocks covering
+// [0, rows): one block per worker, the caller's block inline, the rest
+// on the pool, returning once every block is done. grain is the minimum
+// rows per block — below 2*grain (or with workers capped to one) fn
+// runs serially inline as fn(0, rows).
+//
+// fn must treat rows independently, and MUST NOT call RowParallel
+// itself: a nested dispatch from a pool worker can wait on tasks no
+// free worker is left to run.
+func RowParallel(rows, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	w := workerCap()
+	if mw := rows / grain; mw < w {
+		w = mw
+	}
+	if w <= 1 {
+		fn(0, rows)
+		return
+	}
+	poolOnce.Do(startWorkers)
+	j := jobPool.Get().(*rowJob)
+	j.fn = fn
+	block := (rows + w - 1) / w
+	j.wg.Add(w - 1)
+	lo := block // block 0 runs inline below
+	for i := 1; i < w; i++ {
+		hi := lo + block
+		if hi > rows {
+			hi = rows
+		}
+		t := taskPool.Get().(*rowTask)
+		t.job, t.lo, t.hi = j, lo, hi
+		taskCh <- t
+		lo = hi
+	}
+	fn(0, block)
+	j.wg.Wait()
+	j.fn = nil
+	jobPool.Put(j)
+}

@@ -114,7 +114,10 @@ func (t *Tensor) ReLUInPlace() {
 	}
 }
 
-// MatMulInto computes dst = a @ b. dst must be preallocated a.Rows x b.Cols.
+// MatMulInto computes dst = a @ b, overwriting dst (which may hold
+// arbitrary prior contents — each output row is zeroed before its
+// accumulation, so uninitialized scratch is a valid destination). dst
+// must be preallocated a.Rows x b.Cols.
 func MatMulInto(dst, a, b *Tensor) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d @ %dx%d -> %dx%d",
@@ -123,6 +126,9 @@ func MatMulInto(dst, a, b *Tensor) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for k, av := range arow {
 			if av == 0 {
 				continue

@@ -160,6 +160,7 @@ type schedulerView struct {
 	Items         int64      `json:"items"`
 	MeanBatchSize float64    `json:"mean_batch_size"`
 	MaxBatchSize  int64      `json:"max_batch_size"`
+	Fallbacks     int64      `json:"fallbacks"`
 	BatchSizes    windowView `json:"batch_sizes"`
 }
 

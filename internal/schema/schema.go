@@ -9,9 +9,12 @@
 package schema
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DataType enumerates the column data types supported by the engine.
@@ -167,6 +170,40 @@ type Schema struct {
 	Name        string
 	Tables      []*Table
 	ForeignKeys []ForeignKey
+
+	// fp caches Fingerprint's digest. Schemas are treated as immutable
+	// once built (every layer shares them by pointer); the fingerprint
+	// is computed at most once per Schema value.
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns a stable content identity for the schema: the
+// hex SHA-256 of every field a featurizer can observe — table names,
+// row/page counts, column names, types, distinct counts, null
+// fractions, primary keys, and foreign keys, in declaration order.
+// Two independently constructed but structurally identical schemas
+// (e.g. the same database attached twice across a reload) share a
+// fingerprint, which is what lets caches key on schema *content*
+// instead of leak-prone pointers. Computed lazily once and cached;
+// the schema must not be mutated afterwards.
+func (s *Schema) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		h := sha256.New()
+		fmt.Fprintf(h, "schema %q\n", s.Name)
+		for _, t := range s.Tables {
+			fmt.Fprintf(h, "table %q rows=%d pages=%d\n", t.Name, t.RowCount, t.PageCount)
+			for _, c := range t.Columns {
+				fmt.Fprintf(h, "col %q type=%d distinct=%d nullfrac=%g pk=%t\n",
+					c.Name, int(c.Type), c.DistinctCount, c.NullFrac, c.PrimaryKey)
+			}
+		}
+		for _, fk := range s.ForeignKeys {
+			fmt.Fprintf(h, "fk %q.%q->%q.%q\n", fk.FromTable, fk.FromColumn, fk.ToTable, fk.ToColumn)
+		}
+		s.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return s.fp
 }
 
 // Table returns the table with the given name, or nil.

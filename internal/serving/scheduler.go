@@ -49,6 +49,7 @@ type scheduler struct {
 	batches    metrics.Counter
 	items      metrics.Counter
 	coalesced  metrics.HitCounter // hit: request shared its batch with others
+	fallbacks  metrics.Counter    // fused batches that failed and re-predicted per request
 	maxSeen    atomic.Int64
 	batchSizes *metrics.Window // distribution of flushed batch sizes
 }
@@ -231,6 +232,31 @@ func (s *scheduler) flush(q *modelQueue, batch []*schedRequest) {
 	if len(live) == 0 {
 		return
 	}
+	for _, r := range live {
+		if r.tr != nil {
+			r.tr.SetBatch(len(live), time.Since(r.enq))
+		}
+	}
+	ins := make([]costmodel.PlanInput, len(live))
+	for i, r := range live {
+		ins[i] = r.in
+	}
+	// The batch outlives any single caller's deadline by design — its
+	// members already passed their own ctx checks above.
+	preds, err := est.PredictBatch(context.Background(), ins)
+	if err != nil {
+		// The fused pass aborted and every request re-predicts alone, so
+		// nothing actually coalesced: count the fallback as its own
+		// outcome instead of a successful batch — batches/coalesced/
+		// batchSizes record only flushes that really drained fused.
+		s.fallbacks.Inc()
+		parallelEach(len(live), func(i int) {
+			r := live[i]
+			v, perr := est.Predict(r.ctx, r.in)
+			r.done <- schedResult{v: v, err: perr}
+		})
+		return
+	}
 	s.batches.Inc()
 	s.items.Add(int64(len(live)))
 	s.batchSizes.Observe(float64(len(live)))
@@ -245,42 +271,27 @@ func (s *scheduler) flush(q *modelQueue, batch []*schedRequest) {
 			break
 		}
 	}
-	for _, r := range live {
-		if r.tr != nil {
-			r.tr.SetBatch(len(live), time.Since(r.enq))
-		}
-	}
-	ins := make([]costmodel.PlanInput, len(live))
-	for i, r := range live {
-		ins[i] = r.in
-	}
-	// The batch outlives any single caller's deadline by design — its
-	// members already passed their own ctx checks above.
-	preds, err := est.PredictBatch(context.Background(), ins)
-	if err != nil {
-		parallelEach(len(live), func(i int) {
-			r := live[i]
-			v, perr := est.Predict(r.ctx, r.in)
-			r.done <- schedResult{v: v, err: perr}
-		})
-		return
-	}
 	for i, r := range live {
 		r.done <- schedResult{v: preds[i]}
 	}
 }
 
 // SchedulerStats reports micro-batching behavior: how many batches
-// flushed, how many singles they carried, the share of singles that
-// actually shared a batch, the largest batch observed, and the recent
-// batch-size distribution — the observable shape of the coalescer
-// feeding real fused batches into Estimator.PredictBatch.
+// drained fused, how many singles they carried, the share of singles
+// that actually shared a batch, the largest batch observed, the recent
+// batch-size distribution, and how many flushes fell back to per-
+// request Predict after a failed fused pass — the observable shape of
+// the coalescer feeding real fused batches into Estimator.PredictBatch.
+// Fallback flushes appear ONLY in Fallbacks: their requests never
+// shared an inference pass, so counting them as batches or coalesced
+// hits would overstate the fused rate.
 type SchedulerStats struct {
 	Batches       int64                 `json:"batches"`
 	Items         int64                 `json:"items"`
 	MeanBatchSize float64               `json:"mean_batch_size"`
 	MaxBatchSize  int64                 `json:"max_batch_size"`
 	Coalesced     metrics.HitRate       `json:"coalesced"`
+	Fallbacks     int64                 `json:"fallbacks"`
 	BatchSizes    metrics.WindowSummary `json:"batch_sizes"`
 }
 
@@ -290,6 +301,7 @@ func (s *scheduler) stats() SchedulerStats {
 		Items:        s.items.Value(),
 		MaxBatchSize: s.maxSeen.Load(),
 		Coalesced:    s.coalesced.Snapshot(),
+		Fallbacks:    s.fallbacks.Value(),
 		BatchSizes:   s.batchSizes.Snapshot(),
 	}
 	if st.Batches > 0 {

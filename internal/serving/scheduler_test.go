@@ -99,6 +99,54 @@ func TestSchedulerMaxBatchCap(t *testing.T) {
 	}
 }
 
+// TestSchedulerFallbackNotCountedAsCoalesced pins the fused-vs-fallback
+// stats contract: a flush whose shared PredictBatch fails re-predicts
+// per request, and that flush must surface in Fallbacks ONLY — not in
+// batches, coalesced, or the batch-size distribution, which previously
+// recorded it as a successful coalesce before the fused call even ran.
+func TestSchedulerFallbackNotCountedAsCoalesced(t *testing.T) {
+	poisonCost := 13.0
+	est := &fakeEstimator{name: "fake", poison: func(in costmodel.PlanInput) error {
+		if in.OptimizerCost == poisonCost {
+			return errors.New("poisoned input")
+		}
+		return nil
+	}}
+	s := newScheduler(8, time.Millisecond)
+	defer s.close()
+
+	// A poisoned single: the fused pass fails, the fallback re-predicts
+	// it alone, and the caller gets the per-request error.
+	if _, err := s.predictOne(context.Background(), est, schedIn(poisonCost), nil); err == nil {
+		t.Fatal("poisoned request did not surface its error")
+	}
+	st := s.stats()
+	if st.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if st.Batches != 0 || st.Items != 0 {
+		t.Fatalf("failed fused flush counted as a batch: %+v", st)
+	}
+	if st.Coalesced.Hits != 0 || st.Coalesced.Misses != 0 {
+		t.Fatalf("failed fused flush touched the coalesce counters: %+v", st.Coalesced)
+	}
+	if st.BatchSizes.Count != 0 {
+		t.Fatalf("failed fused flush landed in the batch-size distribution: %+v", st.BatchSizes)
+	}
+
+	// A healthy single drains fused and counts as before.
+	if _, err := s.predictOne(context.Background(), est, schedIn(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	st = s.stats()
+	if st.Batches != 1 || st.Items != 1 || st.Fallbacks != 1 {
+		t.Fatalf("healthy flush after fallback: %+v", st)
+	}
+	if st.BatchSizes.Count != 1 {
+		t.Fatalf("healthy flush missing from batch-size distribution: %+v", st.BatchSizes)
+	}
+}
+
 func TestSchedulerContextCancel(t *testing.T) {
 	est := &fakeEstimator{name: "fake"}
 	s := newScheduler(8, 10*time.Millisecond)

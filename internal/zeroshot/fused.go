@@ -12,29 +12,40 @@ import (
 // steady-state batching reuses the slab buffers.
 var packPool = sync.Pool{New: func() any { return new(encoding.BatchGraph) }}
 
-// PredictBatch predicts runtimes in seconds for many encoded plans as
-// ONE fused forward pass: the graphs are packed into an
-// encoding.BatchGraph and the network executes per-node-type encoder
-// slabs, per-level combine slabs and a single readout over all roots,
-// on an inference-only nn context (no tape, pooled buffers). The result
-// is bitwise identical to calling Predict per graph — every packed row
-// goes through the same per-row tensor operations the tape path runs —
-// while doing near-zero allocations at steady state. Safe for
+// shardGrain is the minimum graphs per fused shard: below 2*shardGrain
+// a batch packs and runs as one fused pass on the calling goroutine
+// (the common warm serving batch), above it the batch splits into one
+// contiguous shard per core.
+const shardGrain = 32
+
+// PredictBatch predicts runtimes in seconds for fused batches of
+// encoded plans: graphs are packed into an encoding.BatchGraph and the
+// network executes per-node-type encoder slabs, per-level combine slabs
+// and a single readout over all roots, on an inference-only nn context
+// (no tape, pooled buffers). Large batches split into one contiguous
+// shard per core, each its own pack + fused pass on the nn worker pool
+// — graphs are mutually independent, so sharding scales the whole pass
+// (packing included) near-linearly. The result is bitwise identical to
+// calling Predict per graph — every packed row goes through the same
+// per-row tensor operations the tape path runs, whatever the shard
+// split — while doing near-zero allocations at steady state. Safe for
 // concurrent use; training keeps the tape path.
 func (m *Model) PredictBatch(gs []*encoding.Graph) []float64 {
 	out := make([]float64, len(gs))
 	if len(gs) == 0 {
 		return out
 	}
-	bg := packPool.Get().(*encoding.BatchGraph)
-	bg.Pack(gs)
-	inf := nn.GetInference()
-	pred := m.fusedForward(inf, bg)
-	for g := range out {
-		out[g] = runtimeFromLog(pred.Data[g])
-	}
-	inf.Release()
-	packPool.Put(bg)
+	nn.RowParallel(len(gs), shardGrain, func(lo, hi int) {
+		bg := packPool.Get().(*encoding.BatchGraph)
+		bg.Pack(gs[lo:hi])
+		inf := nn.GetInference()
+		pred := m.fusedForward(inf, bg)
+		for g, v := range pred.Data[:hi-lo] {
+			out[lo+g] = runtimeFromLog(v)
+		}
+		inf.Release()
+		packPool.Put(bg)
+	})
 	return out
 }
 
@@ -50,7 +61,9 @@ func (m *Model) PredictBatch(gs []*encoding.Graph) []float64 {
 //     FlatSum mode, each graph's mean node hidden state).
 func (m *Model) fusedForward(inf *nn.Inference, bg *encoding.BatchGraph) *nn.Tensor {
 	hd := m.cfg.Hidden
-	hidden := inf.Tensor(bg.NumNodes, hd)
+	// Every row of the staging tensors is fully overwritten before being
+	// read, so none of them needs the zeroing memclr.
+	hidden := inf.TensorUninit(bg.NumNodes, hd)
 	var enc [encoding.NumNodeTypes]*nn.Tensor
 	for t := 0; t < encoding.NumNodeTypes; t++ {
 		if n := bg.TypeCount[t]; n > 0 {
@@ -67,7 +80,7 @@ func (m *Model) fusedForward(inf *nn.Inference, bg *encoding.BatchGraph) *nn.Ten
 	if !m.cfg.FlatSum {
 		for lvl := 1; lvl <= bg.NumLevels(); lvl++ {
 			nodes := bg.Level(lvl)
-			in := inf.Tensor(len(nodes), 2*hd)
+			in := inf.TensorUninit(len(nodes), 2*hd)
 			for j, i := range nodes {
 				row := in.Data[j*2*hd : (j+1)*2*hd]
 				copy(row[:hd], hidden.Data[int(i)*hd:(int(i)+1)*hd])
@@ -87,7 +100,7 @@ func (m *Model) fusedForward(inf *nn.Inference, bg *encoding.BatchGraph) *nn.Ten
 		}
 	}
 
-	roots := inf.Tensor(bg.NumGraphs, hd)
+	roots := inf.TensorUninit(bg.NumGraphs, hd)
 	for g := 0; g < bg.NumGraphs; g++ {
 		dst := roots.Data[g*hd : (g+1)*hd]
 		if m.cfg.FlatSum {
