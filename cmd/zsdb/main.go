@@ -112,6 +112,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
@@ -121,6 +122,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/experiments"
 	"github.com/zeroshot-db/zeroshot/internal/hwsim"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/nn"
 	"github.com/zeroshot-db/zeroshot/internal/optimizer"
 	"github.com/zeroshot-db/zeroshot/internal/sqlparse"
 	"github.com/zeroshot-db/zeroshot/internal/stats"
@@ -332,9 +334,12 @@ func runTrain(args []string) error {
 	dbs := fs.Int("dbs", 8, "number of training databases")
 	queries := fs.Int("queries", 300, "training queries per database")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("train-workers", 0,
+		"cap the data-parallel training worker pool (0 = one per core, 1 = serial); any cap trains to bitwise-identical weights")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer nn.SetMaxWorkers(nn.SetMaxWorkers(*workers))
 	cardSrc, err := parseCard(*card)
 	if err != nil {
 		return err
@@ -365,6 +370,10 @@ func runTrain(args []string) error {
 			est.Name(), report.Samples, report.EpochLoss[0], report.EpochLoss[len(report.EpochLoss)-1])
 	} else {
 		fmt.Fprintf(os.Stderr, "fitted %s on %d samples\n", est.Name(), report.Samples)
+	}
+	if report.WallTime > 0 {
+		fmt.Fprintf(os.Stderr, "training wall-time %s (%.0f samples/s)\n",
+			report.WallTime.Round(time.Millisecond), report.SamplesPerSec)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -24,7 +24,11 @@
 //     back to a worker-pool fan-out — see DESIGN.md's "The inference
 //     engine"
 //   - internal/zeroshot — the zero-shot cost model (train / predict /
-//     fine-tune / save / load)
+//     fine-tune / save / load). Training runs a data-parallel engine:
+//     minibatches shard across the shared nn worker pool with pooled
+//     tapes and a deterministic gradient reduce, so any worker count
+//     trains to bitwise-identical weights — see DESIGN.md's "The
+//     training engine"
 //   - internal/adapt — online adaptation: serve-time feedback joined
 //     against retained plans, q-error drift detection, and a background
 //     worker that fine-tunes a clone of the serving model and hot-swaps

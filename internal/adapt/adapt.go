@@ -237,6 +237,19 @@ type Loop struct {
 	// by how much after a subsequent swap lands.
 	lastRejected *ShadowEval
 	lastSwap     time.Time
+	// Fine-tune telemetry (guarded by shadowMu): when the most recent
+	// background fine-tune ran, how long it took, its training
+	// throughput, and the tail of its epoch-loss curve.
+	lastFineTune time.Time
+	ftWall       time.Duration
+	ftRate       float64
+	ftLossTail   []float64
+
+	// bgCtx cancels the background worker's in-flight adaptation cycle
+	// on Close, so a long fine-tune aborts at the next minibatch
+	// boundary instead of pinning shutdown.
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -267,12 +280,15 @@ func New(sess *serving.Session, cfg Config) (*Loop, error) {
 		// more models attach.
 		cfg.Model = est.Name()
 	}
+	bgCtx, bgCancel := context.WithCancel(context.Background())
 	return &Loop{
-		cfg:     cfg,
-		sess:    sess,
-		windows: map[string]*dbWindow{},
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		sess:     sess,
+		windows:  map[string]*dbWindow{},
+		bgCtx:    bgCtx,
+		bgCancel: bgCancel,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}, nil
 }
 
@@ -420,9 +436,46 @@ func (l *Loop) adaptOne(ctx context.Context, db string, samples []costmodel.Samp
 	if err != nil {
 		return false, err
 	}
-	if _, err := clone.(costmodel.FineTuner).FineTune(ctx, train, l.cfg.Epochs, l.cfg.LR); err != nil {
+	l.cfg.Events.Record(obs.EventFineTuneStarted, l.cfg.Origin, map[string]string{
+		"db": db, "model": l.cfg.Model, "samples": strconv.Itoa(len(train)),
+	})
+	ftStart := time.Now()
+	report, err := clone.(costmodel.FineTuner).FineTune(ctx, train, l.cfg.Epochs, l.cfg.LR)
+	ftWall := time.Since(ftStart)
+	if err != nil {
 		return false, err
 	}
+	// Prefer the estimator's own wall-time/throughput (the training loop
+	// measured without the encode stage) and fall back to the measured
+	// envelope for estimators that don't report it.
+	if report.WallTime > 0 {
+		ftWall = report.WallTime
+	}
+	ftRate := report.SamplesPerSec
+	if ftRate == 0 && ftWall > 0 {
+		ftRate = float64(len(train)*l.cfg.Epochs) / ftWall.Seconds()
+	}
+	lossTail := report.EpochLoss
+	if len(lossTail) > 3 {
+		lossTail = lossTail[len(lossTail)-3:]
+	}
+	ftFields := map[string]string{
+		"db":              db,
+		"model":           l.cfg.Model,
+		"samples":         strconv.Itoa(len(train)),
+		"duration_ms":     strconv.FormatInt(ftWall.Milliseconds(), 10),
+		"samples_per_sec": strconv.FormatFloat(ftRate, 'f', 0, 64),
+	}
+	for i, v := range lossTail {
+		ftFields[fmt.Sprintf("loss_tail_%d", i)] = strconv.FormatFloat(v, 'g', 4, 64)
+	}
+	l.cfg.Events.Record(obs.EventFineTuneFinished, l.cfg.Origin, ftFields)
+	l.shadowMu.Lock()
+	l.lastFineTune = ftStart
+	l.ftWall = ftWall
+	l.ftRate = ftRate
+	l.ftLossTail = append([]float64(nil), lossTail...)
+	l.shadowMu.Unlock()
 	oldMed, err := medianQError(ctx, est, holdout)
 	if err != nil {
 		return false, err
@@ -515,7 +568,7 @@ func (l *Loop) Start() {
 				case <-l.stop:
 					return
 				case <-t.C:
-					l.Sweep(context.Background())
+					l.Sweep(l.bgCtx)
 				}
 			}
 		}()
@@ -523,9 +576,14 @@ func (l *Loop) Start() {
 }
 
 // Close stops the background worker and waits for any in-flight
-// adaptation cycle to finish. Safe to call without Start and idempotent.
+// adaptation cycle to finish; the cycle's fine-tune is canceled and
+// aborts at its next minibatch boundary, so a drain never waits out a
+// full training run. Safe to call without Start and idempotent.
 func (l *Loop) Close() {
-	l.stopOnce.Do(func() { close(l.stop) })
+	l.stopOnce.Do(func() {
+		l.bgCancel()
+		close(l.stop)
+	})
 	l.startOnce.Do(func() { close(l.done) }) // never started: unblock the wait
 	<-l.done
 }
@@ -561,14 +619,22 @@ type WindowStatus struct {
 
 // Status is the observability snapshot behind GET /v1/adapt/status.
 type Status struct {
-	Model         string      `json:"model"`
-	Feedback      int64       `json:"feedback"`
-	JoinMisses    int64       `json:"join_misses"`
-	Sweeps        int64       `json:"sweeps"`
-	SwapsAccepted int64       `json:"swaps_accepted"`
-	SwapsRejected int64       `json:"swaps_rejected"`
-	LastSwap      time.Time   `json:"last_swap"`
-	LastShadow    *ShadowEval `json:"last_shadow,omitempty"`
+	Model         string    `json:"model"`
+	Feedback      int64     `json:"feedback"`
+	JoinMisses    int64     `json:"join_misses"`
+	Sweeps        int64     `json:"sweeps"`
+	SwapsAccepted int64     `json:"swaps_accepted"`
+	SwapsRejected int64     `json:"swaps_rejected"`
+	LastSwap      time.Time `json:"last_swap"`
+	// LastFineTune* surface the most recent background fine-tune — when
+	// it started, its wall-clock duration, its training throughput, and
+	// the tail of its epoch-loss curve — so an operator can see how
+	// stale the served model can get during drift without grepping logs.
+	LastFineTune          time.Time   `json:"last_finetune,omitempty"`
+	LastFineTuneSec       float64     `json:"last_finetune_sec,omitempty"`
+	FineTuneSamplesPerSec float64     `json:"finetune_samples_per_sec,omitempty"`
+	LastFineTuneLossTail  []float64   `json:"last_finetune_loss_tail,omitempty"`
+	LastShadow            *ShadowEval `json:"last_shadow,omitempty"`
 	// LastRejected is the most recent rejected verdict, kept even after
 	// later accepted swaps overwrite LastShadow.
 	LastRejected *ShadowEval    `json:"last_rejected,omitempty"`
@@ -588,6 +654,10 @@ func (l *Loop) Status() Status {
 	}
 	l.shadowMu.Lock()
 	st.LastSwap = l.lastSwap
+	st.LastFineTune = l.lastFineTune
+	st.LastFineTuneSec = l.ftWall.Seconds()
+	st.FineTuneSamplesPerSec = l.ftRate
+	st.LastFineTuneLossTail = append([]float64(nil), l.ftLossTail...)
 	if l.lastShadow != nil {
 		c := *l.lastShadow
 		st.LastShadow = &c

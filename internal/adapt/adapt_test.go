@@ -15,6 +15,7 @@ import (
 	"github.com/zeroshot-db/zeroshot/internal/costmodel"
 	"github.com/zeroshot-db/zeroshot/internal/datagen"
 	"github.com/zeroshot-db/zeroshot/internal/metrics"
+	"github.com/zeroshot-db/zeroshot/internal/obs"
 	"github.com/zeroshot-db/zeroshot/internal/serving"
 	"github.com/zeroshot-db/zeroshot/internal/storage"
 )
@@ -381,6 +382,71 @@ func TestSweepFailureKeepsEvidence(t *testing.T) {
 	}
 	if st := loop.Status(); st.LastError != "" {
 		t.Fatalf("LastError not cleared after success: %q", st.LastError)
+	}
+}
+
+// TestSweepRecordsFineTuneTelemetry: a sweep that fine-tunes leaves a
+// start/finish event pair in the control-plane log and publishes the
+// fine-tune wall-time and throughput through Status — the numbers
+// /v1/adapt/status serves.
+func TestSweepRecordsFineTuneTelemetry(t *testing.T) {
+	est := &tunableEstimator{name: "tunable", scale: 4, tune: goodTune}
+	sess := newAdaptSession(t, est)
+	events := obs.NewLog(32)
+	loop, err := New(sess, Config{
+		Model:      "tunable",
+		WindowSize: 64,
+		MinSamples: 8,
+		Events:     events,
+		Origin:     "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, sqls := fixtures(t)
+	for i := 0; i < 12; i++ {
+		if err := predictAndFeedback(ctx, sess, loop, sqls[i%len(sqls)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := loop.Status(); !st.LastFineTune.IsZero() || st.LastFineTuneSec != 0 {
+		t.Fatalf("fine-tune telemetry set before any sweep: %+v", st)
+	}
+	if a, r := loop.Sweep(ctx); a != 1 || r != 0 {
+		t.Fatalf("sweep = %d/%d, want one accepted swap (status %+v)", a, r, loop.Status())
+	}
+	st := loop.Status()
+	if st.LastFineTune.IsZero() {
+		t.Fatal("LastFineTune not recorded after a fine-tuning sweep")
+	}
+	if st.LastFineTuneSec <= 0 {
+		t.Fatalf("LastFineTuneSec = %v, want > 0", st.LastFineTuneSec)
+	}
+	if st.FineTuneSamplesPerSec <= 0 {
+		t.Fatalf("FineTuneSamplesPerSec = %v, want > 0", st.FineTuneSamplesPerSec)
+	}
+	var started, finished *obs.Event
+	for _, ev := range events.Since(0, 0) {
+		ev := ev
+		switch ev.Type {
+		case obs.EventFineTuneStarted:
+			started = &ev
+		case obs.EventFineTuneFinished:
+			finished = &ev
+		}
+	}
+	if started == nil || finished == nil {
+		t.Fatalf("event log missing fine-tune pair: %+v", events.Since(0, 0))
+	}
+	if started.Seq >= finished.Seq {
+		t.Fatalf("started (seq %d) not before finished (seq %d)", started.Seq, finished.Seq)
+	}
+	if started.Fields["db"] != "target" || started.Fields["model"] != "tunable" {
+		t.Fatalf("started fields = %v", started.Fields)
+	}
+	if finished.Fields["duration_ms"] == "" || finished.Fields["samples_per_sec"] == "" {
+		t.Fatalf("finished fields missing duration/throughput: %v", finished.Fields)
 	}
 }
 

@@ -33,6 +33,7 @@ package costmodel
 import (
 	"context"
 	"io"
+	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/collect"
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
@@ -111,6 +112,12 @@ type FitReport struct {
 	// EpochLoss is the per-epoch mean training loss for iterative
 	// estimators (nil for closed-form fits such as ScaledCost).
 	EpochLoss []float64
+	// WallTime is the wall-clock duration of the training run, when the
+	// estimator reports it (zero otherwise).
+	WallTime time.Duration
+	// SamplesPerSec is the end-to-end training throughput (samples x
+	// epochs / WallTime), when the estimator reports it.
+	SamplesPerSec float64
 }
 
 // Estimator is the one contract every runtime predictor implements.

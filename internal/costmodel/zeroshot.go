@@ -227,7 +227,9 @@ func (z *ZeroShot) encodeBatch(ctx context.Context, ins []PlanInput, escapeAll b
 // to recycle. Shared so the all-memoized path allocates no closure.
 func noopRelease() {}
 
-// Fit implements Estimator.
+// Fit implements Estimator. ctx cancellation propagates into the
+// training loop itself (checked at epoch and minibatch boundaries), not
+// just the encode stage.
 func (z *ZeroShot) Fit(ctx context.Context, samples []Sample) (*FitReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -236,15 +238,18 @@ func (z *ZeroShot) Fit(ctx context.Context, samples []Sample) (*FitReport, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := z.model.Train(zs)
+	res, err := z.model.TrainCtx(ctx, zs)
 	if err != nil {
 		return nil, err
 	}
-	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss}, nil
+	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss,
+		WallTime: res.WallTime, SamplesPerSec: res.SamplesPerSec}, nil
 }
 
 // FineTune implements FineTuner: continue training on samples from a new
-// database at a reduced learning rate (the paper's few-shot mode).
+// database at a reduced learning rate (the paper's few-shot mode). ctx
+// cancellation propagates into the training loop, so the adaptation
+// worker's background fine-tune stops promptly on drain.
 func (z *ZeroShot) FineTune(ctx context.Context, samples []Sample, epochs int, lr float64) (*FitReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -253,11 +258,12 @@ func (z *ZeroShot) FineTune(ctx context.Context, samples []Sample, epochs int, l
 	if err != nil {
 		return nil, err
 	}
-	res, err := z.model.FineTune(zs, epochs, lr)
+	res, err := z.model.FineTuneCtx(ctx, zs, epochs, lr)
 	if err != nil {
 		return nil, err
 	}
-	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss}, nil
+	return &FitReport{Samples: len(zs), EpochLoss: res.EpochLoss,
+		WallTime: res.WallTime, SamplesPerSec: res.SamplesPerSec}, nil
 }
 
 // Clone implements Cloner: a deep copy via a save/load round trip, so

@@ -1,0 +1,52 @@
+package nn
+
+// GradSet is a private gradient-accumulation buffer set mirroring a
+// parameter list: one zeroed tensor per parameter, shape-matched. It is
+// the unit of data-parallel training — each worker accumulates its
+// shard's gradients into its own set (bound to the worker's tape via
+// Tape.RemapGrads), and the trainer reduces completed sets into the
+// shared parameter gradients in a fixed shard order. Because every
+// per-shard accumulation and the final reduce run in an order that
+// depends only on the shard layout — never on which goroutine computed
+// what, or when — the reduced gradients are bitwise identical for any
+// worker count.
+type GradSet struct {
+	grads []*Tensor
+	remap map[*Tensor]*Tensor
+}
+
+// NewGradSet allocates zeroed buffers mirroring params. The set is tied
+// to these exact parameters: AddTo must be called with the same list.
+func NewGradSet(params []*Param) *GradSet {
+	gs := &GradSet{
+		grads: make([]*Tensor, len(params)),
+		remap: make(map[*Tensor]*Tensor, len(params)),
+	}
+	for i, p := range params {
+		gs.grads[i] = NewTensor(p.Grad.Rows, p.Grad.Cols)
+		gs.remap[p.Grad] = gs.grads[i]
+	}
+	return gs
+}
+
+// Remap returns the Leaf-gradient redirection table for Tape.RemapGrads:
+// each shared parameter gradient maps to this set's private buffer.
+func (gs *GradSet) Remap() map[*Tensor]*Tensor { return gs.remap }
+
+// Zero clears every buffer; call before reusing a pooled set.
+func (gs *GradSet) Zero() {
+	for _, g := range gs.grads {
+		g.Zero()
+	}
+}
+
+// AddTo reduces the set into the shared parameter gradients:
+// params[i].Grad += buffer[i]. params must be the NewGradSet list.
+func (gs *GradSet) AddTo(params []*Param) {
+	if len(params) != len(gs.grads) {
+		panic("nn: GradSet.AddTo parameter list does not match the set")
+	}
+	for i, p := range params {
+		p.Grad.AddInPlace(gs.grads[i])
+	}
+}

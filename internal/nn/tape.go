@@ -12,33 +12,152 @@ type Var struct {
 // Tape records operations for reverse-mode differentiation. Build the
 // forward computation through Tape methods, then call Backward on the
 // scalar loss. A Tape is built fresh per training sample, because plan
-// graphs differ from sample to sample.
+// graphs differ from sample to sample — but "fresh" does not have to
+// mean "heap-allocated": Reset recycles every Var and Tensor struct and
+// the float64 slab behind them, so a tape reused across samples reaches
+// a steady state where the only per-sample allocations left are the
+// backward closures themselves.
 type Tape struct {
 	backward []func()
+
+	// Recycled scratch (see Reset): Var and Tensor structs plus one
+	// float64 slab, reused across Reset cycles. used counters index the
+	// next free struct; slabNeed records the total floats requested this
+	// cycle so Reset can size the slab for the next one.
+	vars     []*Var
+	varsUsed int
+	tensors  []*Tensor
+	tensUsed int
+	slab     []float64
+	slabOff  int
+	slabNeed int
+
+	// gradRemap redirects Leaf gradient accumulation (see RemapGrads).
+	gradRemap map[*Tensor]*Tensor
 }
 
 // NewTape creates an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// newVar allocates a Var with a zeroed gradient of matching shape.
-func newVar(val *Tensor) *Var {
-	return &Var{Val: val, Grad: NewTensor(val.Rows, val.Cols)}
+// Reset recycles the tape for the next sample: backward closures are
+// dropped and every Var, Tensor and slab float handed out so far
+// becomes reusable. Values produced by earlier operations are invalid
+// after Reset. The gradient remap table survives — a worker binds its
+// private buffers once and resets per sample.
+func (tp *Tape) Reset() {
+	tp.backward = tp.backward[:0]
+	tp.varsUsed = 0
+	tp.tensUsed = 0
+	if tp.slabNeed > len(tp.slab) {
+		tp.slab = make([]float64, tp.slabNeed)
+	}
+	tp.slabOff = 0
+	tp.slabNeed = 0
+}
+
+// RemapGrads redirects Leaf gradient accumulation: a Leaf whose grad
+// tensor appears as a key accumulates into the mapped tensor instead.
+// This is how a data-parallel training worker binds shared parameters
+// to its private GradSet buffers. The mapping persists across Reset;
+// pass nil to clear it.
+func (tp *Tape) RemapGrads(m map[*Tensor]*Tensor) { tp.gradRemap = m }
+
+// scratch returns a zeroed length-n slice from the tape's slab, falling
+// back to the heap when the slab is exhausted (Reset sizes the next
+// slab from this cycle's total demand, so the fallback disappears at
+// steady state).
+func (tp *Tape) scratch(n int) []float64 {
+	tp.slabNeed += n
+	if tp.slabOff+n <= len(tp.slab) {
+		s := tp.slab[tp.slabOff : tp.slabOff+n : tp.slabOff+n]
+		tp.slabOff += n
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n)
+}
+
+// tensorStruct returns a recycled (or new) Tensor shell with no shape.
+func (tp *Tape) tensorStruct() *Tensor {
+	if tp.tensUsed < len(tp.tensors) {
+		t := tp.tensors[tp.tensUsed]
+		tp.tensUsed++
+		return t
+	}
+	t := new(Tensor)
+	tp.tensors = append(tp.tensors, t)
+	tp.tensUsed++
+	return t
+}
+
+// tensor returns a zeroed rows x cols tensor backed by tape scratch.
+func (tp *Tape) tensor(rows, cols int) *Tensor {
+	t := tp.tensorStruct()
+	t.Rows, t.Cols = rows, cols
+	t.Data = tp.scratch(rows * cols)
+	return t
+}
+
+// cloneOf returns a tape-scratch copy of src.
+func (tp *Tape) cloneOf(src *Tensor) *Tensor {
+	t := tp.tensor(src.Rows, src.Cols)
+	copy(t.Data, src.Data)
+	return t
+}
+
+// varStruct returns a recycled (or new) Var shell.
+func (tp *Tape) varStruct() *Var {
+	if tp.varsUsed < len(tp.vars) {
+		v := tp.vars[tp.varsUsed]
+		tp.varsUsed++
+		return v
+	}
+	v := new(Var)
+	tp.vars = append(tp.vars, v)
+	tp.varsUsed++
+	return v
+}
+
+// newVar wraps val with a zeroed tape-scratch gradient of matching shape.
+func (tp *Tape) newVar(val *Tensor) *Var {
+	v := tp.varStruct()
+	v.Val = val
+	v.Grad = tp.tensor(val.Rows, val.Cols)
+	return v
 }
 
 // Leaf wraps a tensor as a graph input whose gradient accumulates into the
 // provided grad tensor (pass the persistent parameter gradient to train, or
-// a scratch tensor for constants).
+// a scratch tensor for constants). An active RemapGrads table may redirect
+// the accumulation into a worker-private buffer.
 func (tp *Tape) Leaf(val, grad *Tensor) *Var {
+	if pg, ok := tp.gradRemap[grad]; ok {
+		grad = pg
+	}
 	sameShape(val, grad, "leaf")
-	return &Var{Val: val, Grad: grad}
+	v := tp.varStruct()
+	v.Val, v.Grad = val, grad
+	return v
 }
 
 // Const wraps a tensor whose gradient is discarded.
-func (tp *Tape) Const(val *Tensor) *Var { return newVar(val) }
+func (tp *Tape) Const(val *Tensor) *Var { return tp.newVar(val) }
+
+// ConstRow wraps data as a 1 x len(data) constant Var without copying —
+// the zero-copy bridge from encoded feature vectors into the graph. The
+// caller must not mutate data until Backward completes; tape operations
+// never write through Val.
+func (tp *Tape) ConstRow(data []float64) *Var {
+	t := tp.tensorStruct()
+	t.Rows, t.Cols, t.Data = 1, len(data), data
+	return tp.newVar(t)
+}
 
 // MatMul returns a @ b.
 func (tp *Tape) MatMul(a, b *Var) *Var {
-	out := newVar(NewTensor(a.Val.Rows, b.Val.Cols))
+	out := tp.newVar(tp.tensor(a.Val.Rows, b.Val.Cols))
 	MatMulInto(out.Val, a.Val, b.Val)
 	tp.backward = append(tp.backward, func() {
 		// dA += dOut @ B^T ; dB += A^T @ dOut
@@ -67,7 +186,7 @@ func (tp *Tape) MatMul(a, b *Var) *Var {
 // Add returns a + b (same shape).
 func (tp *Tape) Add(a, b *Var) *Var {
 	sameShape(a.Val, b.Val, "Add")
-	out := newVar(a.Val.Clone())
+	out := tp.newVar(tp.cloneOf(a.Val))
 	out.Val.AddInPlace(b.Val)
 	tp.backward = append(tp.backward, func() {
 		a.Grad.AddInPlace(out.Grad)
@@ -81,7 +200,7 @@ func (tp *Tape) Sum(vs ...*Var) *Var {
 	if len(vs) == 0 {
 		panic("nn: Sum of nothing")
 	}
-	out := newVar(vs[0].Val.Clone())
+	out := tp.newVar(tp.cloneOf(vs[0].Val))
 	for _, v := range vs[1:] {
 		out.Val.AddInPlace(v.Val)
 	}
@@ -95,7 +214,7 @@ func (tp *Tape) Sum(vs ...*Var) *Var {
 
 // ReLU returns max(x, 0) elementwise.
 func (tp *Tape) ReLU(x *Var) *Var {
-	out := newVar(x.Val.Clone())
+	out := tp.newVar(tp.cloneOf(x.Val))
 	for i, v := range out.Val.Data {
 		if v < 0 {
 			out.Val.Data[i] = 0
@@ -120,7 +239,7 @@ func (tp *Tape) Concat(vs ...*Var) *Var {
 		}
 		total += v.Val.Cols
 	}
-	out := newVar(NewTensor(1, total))
+	out := tp.newVar(tp.tensor(1, total))
 	off := 0
 	for _, v := range vs {
 		copy(out.Val.Data[off:off+v.Val.Cols], v.Val.Data)
@@ -140,7 +259,7 @@ func (tp *Tape) Concat(vs ...*Var) *Var {
 
 // ScaleVar returns x * s for a constant scalar s.
 func (tp *Tape) ScaleVar(x *Var, s float64) *Var {
-	out := newVar(x.Val.Clone())
+	out := tp.newVar(tp.cloneOf(x.Val))
 	out.Val.Scale(s)
 	tp.backward = append(tp.backward, func() {
 		for i := range x.Grad.Data {
@@ -154,7 +273,7 @@ func (tp *Tape) ScaleVar(x *Var, s float64) *Var {
 // 1x1 Var. target is a constant.
 func (tp *Tape) MSE(pred *Var, target *Tensor) *Var {
 	sameShape(pred.Val, target, "MSE")
-	out := newVar(NewTensor(1, 1))
+	out := tp.newVar(tp.tensor(1, 1))
 	loss := 0.0
 	for i, p := range pred.Val.Data {
 		d := p - target.Data[i]
@@ -174,7 +293,7 @@ func (tp *Tape) MSE(pred *Var, target *Tensor) *Var {
 // 1x1 Var; more robust to runtime outliers than MSE.
 func (tp *Tape) HuberLoss(pred *Var, target *Tensor, delta float64) *Var {
 	sameShape(pred.Val, target, "Huber")
-	out := newVar(NewTensor(1, 1))
+	out := tp.newVar(tp.tensor(1, 1))
 	loss := 0.0
 	for i, p := range pred.Val.Data {
 		d := p - target.Data[i]

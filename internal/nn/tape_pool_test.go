@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runMLPSample builds one forward+backward pass for x on tp against the
+// MLP and returns the loss value. Gradients accumulate into the MLP's
+// parameter gradients (possibly remapped).
+func runMLPSample(tp *Tape, m *MLP, x, target []float64) float64 {
+	out := m.Apply(tp, tp.ConstRow(x))
+	loss := tp.MSE(out, FromSlice(target))
+	tp.Backward(loss)
+	return loss.Val.Data[0]
+}
+
+// TestTapeResetBitwiseEqualsFresh pins the tape-pooling contract: a tape
+// recycled with Reset across samples produces bitwise-identical losses
+// and parameter gradients to a fresh tape per sample.
+func runSamples(m *MLP, fresh bool) ([]float64, []*Tensor) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([][]float64, 6)
+	ts := make([][]float64, 6)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		ts[i] = []float64{rng.Float64()}
+	}
+	var losses []float64
+	tp := NewTape()
+	for i := range xs {
+		if fresh {
+			tp = NewTape()
+		} else {
+			tp.Reset()
+		}
+		losses = append(losses, runMLPSample(tp, m, xs[i], ts[i]))
+	}
+	var grads []*Tensor
+	for _, p := range m.Params() {
+		grads = append(grads, p.Grad.Clone())
+		p.Grad.Zero()
+	}
+	return losses, grads
+}
+
+func TestTapeResetBitwiseEqualsFresh(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(1)), 3, 8, 1)
+	freshLoss, freshGrads := runSamples(m, true)
+	poolLoss, poolGrads := runSamples(m, false)
+	for i := range freshLoss {
+		if freshLoss[i] != poolLoss[i] {
+			t.Fatalf("sample %d: pooled-tape loss %v != fresh-tape loss %v", i, poolLoss[i], freshLoss[i])
+		}
+	}
+	for i := range freshGrads {
+		for j := range freshGrads[i].Data {
+			if freshGrads[i].Data[j] != poolGrads[i].Data[j] {
+				t.Fatalf("param %d elem %d: pooled grad %v != fresh grad %v",
+					i, j, poolGrads[i].Data[j], freshGrads[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestTapeResetSteadyStateCutsAllocations: after the first sample sizes
+// the slab, a Reset cycle allocates a small fraction of what a fresh
+// tape costs (the remaining allocations are the backward closures).
+func TestTapeResetSteadyStateCutsAllocations(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(2)), 16, 32, 32, 1)
+	x := make([]float64, 16)
+	tgt := []float64{0.5}
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	freshAllocs := testing.AllocsPerRun(50, func() {
+		runMLPSample(NewTape(), m, x, tgt)
+	})
+	tp := NewTape()
+	runMLPSample(tp, m, x, tgt) // warm the slab and struct pools
+	pooledAllocs := testing.AllocsPerRun(50, func() {
+		tp.Reset()
+		runMLPSample(tp, m, x, tgt)
+	})
+	t.Logf("fresh tape: %.0f allocs/sample; pooled tape: %.0f", freshAllocs, pooledAllocs)
+	if pooledAllocs*3 > freshAllocs {
+		t.Fatalf("tape pooling cut allocations only %.1fx (fresh %.0f, pooled %.0f); want >= 3x",
+			freshAllocs/pooledAllocs, freshAllocs, pooledAllocs)
+	}
+}
+
+// TestRemapGradsRoutesIntoGradSet: with a remap installed, Leaf
+// gradients land in the private GradSet buffers and the shared
+// parameter gradients stay untouched; AddTo then reproduces the direct
+// accumulation bitwise.
+func TestRemapGradsRoutesIntoGradSet(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(3)), 4, 6, 1)
+	params := m.Params()
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	tgt := []float64{1.0}
+
+	// Reference: direct accumulation into the shared gradients.
+	runMLPSample(NewTape(), m, x, tgt)
+	var want []*Tensor
+	for _, p := range params {
+		want = append(want, p.Grad.Clone())
+		p.Grad.Zero()
+	}
+
+	gs := NewGradSet(params)
+	tp := NewTape()
+	tp.RemapGrads(gs.Remap())
+	runMLPSample(tp, m, x, tgt)
+	for i, p := range params {
+		for _, v := range p.Grad.Data {
+			if v != 0 {
+				t.Fatalf("param %d: shared gradient touched despite remap", i)
+			}
+		}
+	}
+	gs.AddTo(params)
+	for i, p := range params {
+		for j := range p.Grad.Data {
+			if p.Grad.Data[j] != want[i].Data[j] {
+				t.Fatalf("param %d elem %d: remapped+reduced grad %v != direct grad %v",
+					i, j, p.Grad.Data[j], want[i].Data[j])
+			}
+		}
+	}
+
+	// Remap survives Reset; clearing it restores direct accumulation.
+	gs.Zero()
+	tp.Reset()
+	runMLPSample(tp, m, x, tgt)
+	allZero := true
+	for _, g := range gs.Remap() {
+		for _, v := range g.Data {
+			if v != 0 {
+				allZero = false
+			}
+		}
+	}
+	if allZero {
+		t.Fatal("remap did not survive Reset")
+	}
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	tp.RemapGrads(nil)
+	tp.Reset()
+	runMLPSample(tp, m, x, tgt)
+	touched := false
+	for _, p := range params {
+		for _, v := range p.Grad.Data {
+			if v != 0 {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		t.Fatal("clearing the remap did not restore direct accumulation")
+	}
+}
+
+// TestGradSetAddToChecksLength guards the params/set pairing.
+func TestGradSetAddToChecksLength(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(4)), 2, 2, 1)
+	gs := NewGradSet(m.Params())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTo accepted a mismatched parameter list")
+		}
+	}()
+	gs.AddTo(m.Params()[:1])
+}

@@ -35,9 +35,11 @@ import (
 // recorded the event; Fields carry the specifics.
 const (
 	// Adaptation loop (internal/adapt).
-	EventDriftTriggered = "adapt.drift_triggered"
-	EventSwapAccepted   = "adapt.swap_accepted"
-	EventSwapRejected   = "adapt.swap_rejected"
+	EventDriftTriggered   = "adapt.drift_triggered"
+	EventSwapAccepted     = "adapt.swap_accepted"
+	EventSwapRejected     = "adapt.swap_rejected"
+	EventFineTuneStarted  = "adapt.finetune_started"
+	EventFineTuneFinished = "adapt.finetune_finished"
 
 	// Model distribution (internal/bundle).
 	EventBundlePublished = "bundle.published"

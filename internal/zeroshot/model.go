@@ -19,10 +19,13 @@ package zeroshot
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"time"
 
 	"github.com/zeroshot-db/zeroshot/internal/encoding"
 	"github.com/zeroshot-db/zeroshot/internal/nn"
@@ -75,6 +78,24 @@ type Model struct {
 	combine  *nn.MLP
 	readout  *nn.MLP
 	rng      *rand.Rand
+
+	// order is the epoch permutation buffer, reused across epochs and
+	// Train/FineTune calls instead of reallocated per call.
+	order []int
+	// scratch pools trainScratch sets (tape + private gradients +
+	// target) across shards, minibatches and training runs. Per-model,
+	// because the gradient buffers mirror this model's parameters.
+	scratch sync.Pool
+}
+
+// trainScratch is one training worker's private state: a recycled tape,
+// a private gradient set the tape accumulates into (so concurrent
+// shards never touch the shared parameter gradients), and a reusable
+// 1x1 target tensor.
+type trainScratch struct {
+	tape   *nn.Tape
+	grads  *nn.GradSet
+	target *nn.Tensor
 }
 
 // New creates a randomly initialized model.
@@ -90,6 +111,15 @@ func New(cfg Config) *Model {
 	}
 	m.combine = nn.NewMLP(rng, 2*cfg.Hidden, cfg.Hidden, cfg.Hidden)
 	m.readout = nn.NewMLP(rng, cfg.Hidden, cfg.Hidden, 1)
+	m.scratch.New = func() any {
+		sc := &trainScratch{
+			tape:   nn.NewTape(),
+			grads:  nn.NewGradSet(m.Params()),
+			target: nn.NewTensor(1, 1),
+		}
+		sc.tape.RemapGrads(sc.grads.Remap())
+		return sc
+	}
 	return m
 }
 
@@ -113,7 +143,7 @@ func (m *Model) forward(tp *nn.Tape, g *encoding.Graph) *nn.Var {
 	hidden := make(map[*encoding.GNode]*nn.Var, len(g.Nodes))
 	var all []*nn.Var
 	for _, n := range g.Nodes {
-		h0 := m.encoders[n.Type].Apply(tp, tp.Const(nn.FromSlice(n.Feat)))
+		h0 := m.encoders[n.Type].Apply(tp, tp.ConstRow(n.Feat))
 		h := h0
 		if !m.cfg.FlatSum && len(n.Children) > 0 {
 			children := make([]*nn.Var, len(n.Children))
@@ -144,25 +174,47 @@ func (m *Model) Predict(g *encoding.Graph) float64 {
 	return runtimeFromLog(out.Val.Data[0])
 }
 
-// TrainResult reports the per-epoch mean training loss.
+// TrainResult reports the per-epoch mean training loss and the
+// end-to-end training throughput.
 type TrainResult struct {
 	EpochLoss []float64
+	// WallTime is the wall-clock duration of the whole training run
+	// (validation through the last optimizer step).
+	WallTime time.Duration
+	// SamplesPerSec is the end-to-end throughput: samples x epochs
+	// divided by WallTime.
+	SamplesPerSec float64
 }
 
 // Train fits the model on the samples (runtime targets in log space,
 // Huber loss, Adam with minibatch accumulation). It returns the loss
-// trajectory. Training is deterministic for a fixed Config.Seed.
+// trajectory. Training is deterministic for a fixed Config.Seed,
+// bitwise independent of the worker count (see train).
 func (m *Model) Train(samples []Sample) (*TrainResult, error) {
+	return m.TrainCtx(context.Background(), samples)
+}
+
+// TrainCtx is Train with cancellation: ctx is checked at epoch and
+// minibatch boundaries, so a canceled training run stops promptly
+// instead of finishing every remaining epoch.
+func (m *Model) TrainCtx(ctx context.Context, samples []Sample) (*TrainResult, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("zeroshot: no training samples")
 	}
-	return m.train(samples, m.cfg.Epochs, m.cfg.LR)
+	return m.train(ctx, samples, m.cfg.Epochs, m.cfg.LR)
 }
 
 // FineTune continues training on samples from a new database — the paper's
 // few-shot mode. A reduced learning rate preserves the pretrained system
 // knowledge while adapting to the target.
 func (m *Model) FineTune(samples []Sample, epochs int, lr float64) (*TrainResult, error) {
+	return m.FineTuneCtx(context.Background(), samples, epochs, lr)
+}
+
+// FineTuneCtx is FineTune with cancellation, checked at epoch and
+// minibatch boundaries — the adaptation loop's background fine-tune
+// runs under the serve process lifetime and must stop on drain.
+func (m *Model) FineTuneCtx(ctx context.Context, samples []Sample, epochs int, lr float64) (*TrainResult, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("zeroshot: no fine-tuning samples")
 	}
@@ -172,10 +224,46 @@ func (m *Model) FineTune(samples []Sample, epochs int, lr float64) (*TrainResult
 	if lr <= 0 {
 		lr = m.cfg.LR / 4
 	}
-	return m.train(samples, epochs, lr)
+	return m.train(ctx, samples, epochs, lr)
 }
 
-func (m *Model) train(samples []Sample, epochs int, lr float64) (*TrainResult, error) {
+// maxGradShards fixes how many gradient-reduction shards a minibatch
+// splits into. The shard layout is a function of the minibatch length
+// ONLY — never of the worker count — so the fixed-order reduce yields
+// bitwise identical weights for any nn.SetMaxWorkers value: workers
+// only decide which goroutine computes which shard, not what any shard
+// computes or the order shards reduce in. Eight shards bound both the
+// parallel fan-out per optimizer step and the number of private
+// gradient sets alive at once.
+const maxGradShards = 8
+
+// shardBounds returns the s-th of `shards` balanced contiguous ranges
+// covering [0, n).
+func shardBounds(n, shards, s int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = s * q
+	if s < r {
+		lo += s
+	} else {
+		lo += r
+	}
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// train is the data-parallel training engine. Each epoch shuffles the
+// reused order buffer, then walks it in minibatches; each minibatch
+// splits into up to maxGradShards contiguous shards that run
+// forward+backward concurrently on the nn worker pool, every shard
+// accumulating into a pooled private gradient set over a pooled,
+// scratch-recycling tape. Shard gradients and losses then reduce into
+// the optimizer's shared tensors in ascending shard order. The result —
+// weights and EpochLoss — is bitwise identical for any worker count,
+// and the serial path is the same code with the shard loop run inline.
+func (m *Model) train(ctx context.Context, samples []Sample, epochs int, lr float64) (*TrainResult, error) {
 	for i, s := range samples {
 		if s.Graph == nil || s.Graph.Root == nil {
 			return nil, fmt.Errorf("zeroshot: sample %d has no graph", i)
@@ -184,8 +272,13 @@ func (m *Model) train(samples []Sample, epochs int, lr float64) (*TrainResult, e
 			return nil, fmt.Errorf("zeroshot: sample %d has invalid runtime %v", i, s.RuntimeSec)
 		}
 	}
-	opt := nn.NewAdam(m.Params(), lr)
-	order := make([]int, len(samples))
+	start := time.Now()
+	params := m.Params()
+	opt := nn.NewAdam(params, lr)
+	if cap(m.order) < len(samples) {
+		m.order = make([]int, len(samples))
+	}
+	order := m.order[:len(samples)]
 	for i := range order {
 		order[i] = i
 	}
@@ -194,32 +287,74 @@ func (m *Model) train(samples []Sample, epochs int, lr float64) (*TrainResult, e
 	if batch <= 0 {
 		batch = 16
 	}
+	var (
+		shardScr  [maxGradShards]*trainScratch
+		shardLoss [maxGradShards]float64
+	)
 	for epoch := 0; epoch < epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("zeroshot: training aborted after %d epochs: %w", epoch, err)
+		}
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss := 0.0
-		inBatch := 0
-		for _, idx := range order {
-			s := samples[idx]
-			tp := nn.NewTape()
-			out := m.forward(tp, s.Graph)
-			target := nn.FromSlice([]float64{math.Log(s.RuntimeSec)})
-			loss := tp.HuberLoss(out, target, m.cfg.HuberDelta)
-			tp.Backward(loss)
-			epochLoss += loss.Val.Data[0]
-			inBatch++
-			if inBatch == batch {
-				opt.Step(float64(inBatch))
-				opt.ZeroGrad()
-				inBatch = 0
+		for base := 0; base < len(order); base += batch {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("zeroshot: training aborted mid-epoch: %w", err)
 			}
-		}
-		if inBatch > 0 {
-			opt.Step(float64(inBatch))
+			end := base + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			mb := order[base:end]
+			shards := len(mb)
+			if shards > maxGradShards {
+				shards = maxGradShards
+			}
+			nn.RowParallel(shards, 1, func(slo, shi int) {
+				for s := slo; s < shi; s++ {
+					sc := m.scratch.Get().(*trainScratch)
+					sc.grads.Zero()
+					lo, hi := shardBounds(len(mb), shards, s)
+					loss := 0.0
+					for _, idx := range mb[lo:hi] {
+						loss += m.trainStep(sc, samples[idx])
+					}
+					shardLoss[s] = loss
+					shardScr[s] = sc
+				}
+			})
+			// Deterministic reduce: shard gradients and losses fold into
+			// the shared tensors in ascending shard order, whatever order
+			// the workers finished in.
+			for s := 0; s < shards; s++ {
+				sc := shardScr[s]
+				shardScr[s] = nil
+				sc.grads.AddTo(params)
+				epochLoss += shardLoss[s]
+				m.scratch.Put(sc)
+			}
+			opt.Step(float64(len(mb)))
 			opt.ZeroGrad()
 		}
 		res.EpochLoss = append(res.EpochLoss, epochLoss/float64(len(samples)))
 	}
+	res.WallTime = time.Since(start)
+	if secs := res.WallTime.Seconds(); secs > 0 {
+		res.SamplesPerSec = float64(len(samples)*epochs) / secs
+	}
 	return res, nil
+}
+
+// trainStep runs one sample's forward+backward on the worker's pooled
+// tape, accumulating into its private gradient set, and returns the
+// sample loss.
+func (m *Model) trainStep(sc *trainScratch, s Sample) float64 {
+	sc.tape.Reset()
+	out := m.forward(sc.tape, s.Graph)
+	sc.target.Data[0] = math.Log(s.RuntimeSec)
+	loss := sc.tape.HuberLoss(out, sc.target, m.cfg.HuberDelta)
+	sc.tape.Backward(loss)
+	return loss.Val.Data[0]
 }
 
 // savedModel is the gob header preceding the parameters.
